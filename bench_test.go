@@ -1,0 +1,186 @@
+// Package locality_test hosts the benchmark harness: one benchmark per
+// experiment in DESIGN.md's index (E1–E11). Each benchmark executes the
+// same driver that generates the corresponding EXPERIMENTS.md table (quick
+// scale, so `go test -bench=.` completes in minutes) and reports the
+// headline metric of its experiment via b.ReportMetric, in addition to
+// wall-clock time.
+//
+// Regenerate the full-scale tables with: go run ./cmd/localbench
+package locality_test
+
+import (
+	"strconv"
+	"testing"
+
+	"locality"
+	"locality/internal/harness"
+)
+
+// runExperiment executes a driver b.N times and returns the last table.
+func runExperiment(b *testing.B, id string) *harness.Table {
+	b.Helper()
+	driver, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var t *harness.Table
+	for i := 0; i < b.N; i++ {
+		t = driver(harness.Config{Quick: true, Seed: 2016})
+	}
+	return t
+}
+
+// lastInt parses the cell at (last row, col) as a float metric.
+func lastCell(b *testing.B, t *harness.Table, col int) float64 {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	row := t.Rows[len(t.Rows)-1]
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric: %v", row[col], err)
+	}
+	return v
+}
+
+// BenchmarkE1Separation reproduces the headline: randomized vs
+// deterministic Δ-coloring round counts across the n sweep.
+func BenchmarkE1Separation(b *testing.B) {
+	t := runExperiment(b, "E1")
+	b.ReportMetric(lastCell(b, t, 2), "rand-rounds")
+	b.ReportMetric(lastCell(b, t, 4), "det-rounds")
+}
+
+// BenchmarkE2DeltaScaling reproduces the Δ sweep of the ColorBidding
+// algorithm (Theorem 10).
+func BenchmarkE2DeltaScaling(b *testing.B) {
+	t := runExperiment(b, "E2")
+	b.ReportMetric(lastCell(b, t, 2), "t10-rounds")
+}
+
+// BenchmarkE3Shattering reproduces the bad-component size measurements.
+func BenchmarkE3Shattering(b *testing.B) {
+	t := runExperiment(b, "E3")
+	b.ReportMetric(lastCell(b, t, 5), "max-component")
+}
+
+// BenchmarkE4ZeroRound reproduces the Theorem 4 base case (0-round failure
+// floor 1/Δ²).
+func BenchmarkE4ZeroRound(b *testing.B) {
+	t := runExperiment(b, "E4")
+	b.ReportMetric(lastCell(b, t, 1), "minimax-failure")
+}
+
+// BenchmarkE5RandFromDet reproduces the Theorem 5 construction's failure
+// rate vs the n²/2^b bound.
+func BenchmarkE5RandFromDet(b *testing.B) {
+	t := runExperiment(b, "E5")
+	b.ReportMetric(lastCell(b, t, 4), "failure-rate")
+}
+
+// BenchmarkE6Speedup reproduces the Theorem 6 transform measurements.
+func BenchmarkE6Speedup(b *testing.B) {
+	t := runExperiment(b, "E6")
+	b.ReportMetric(lastCell(b, t, 3), "transformed-rounds")
+}
+
+// BenchmarkE7Dichotomy reproduces the Δ=2 dichotomy (Θ(n) vs O(log* n)).
+func BenchmarkE7Dichotomy(b *testing.B) {
+	t := runExperiment(b, "E7")
+	b.ReportMetric(lastCell(b, t, 1), "2color-rounds")
+	b.ReportMetric(lastCell(b, t, 2), "3color-rounds")
+}
+
+// BenchmarkE8Derandomization reproduces the exhaustive Theorem 3 search.
+func BenchmarkE8Derandomization(b *testing.B) {
+	runExperiment(b, "E8")
+}
+
+// BenchmarkE9Linial reproduces the palette-trajectory/log* measurements.
+func BenchmarkE9Linial(b *testing.B) {
+	t := runExperiment(b, "E9")
+	b.ReportMetric(lastCell(b, t, 2), "rounds")
+}
+
+// BenchmarkE10MISMatching reproduces the MIS/matching round comparisons.
+func BenchmarkE10MISMatching(b *testing.B) {
+	t := runExperiment(b, "E10")
+	b.ReportMetric(lastCell(b, t, 2), "luby-rounds")
+	b.ReportMetric(lastCell(b, t, 3), "detmis-rounds")
+}
+
+// BenchmarkE11Sinkless reproduces the sinkless-orientation convergence
+// measurements.
+func BenchmarkE11Sinkless(b *testing.B) {
+	t := runExperiment(b, "E11")
+	b.ReportMetric(lastCell(b, t, 3), "last-sink-step")
+}
+
+// BenchmarkKernelSequential measures the raw simulator throughput
+// (node-steps per second) on a flood algorithm — the substrate cost under
+// every experiment.
+func BenchmarkKernelSequential(b *testing.B) {
+	benchKernel(b, locality.EngineSequential)
+}
+
+// BenchmarkKernelConcurrent measures the goroutine-per-node engine on the
+// same workload.
+func BenchmarkKernelConcurrent(b *testing.B) {
+	benchKernel(b, locality.EngineConcurrent)
+}
+
+func benchKernel(b *testing.B, engine locality.Engine) {
+	r := locality.NewRand(1)
+	g := locality.RandomTree(2048, 4, r)
+	assignment := locality.ShuffledIDs(2048, r)
+	factory := locality.NewLinialFactory(locality.LinialOptions{
+		InitialPalette: 2048, Delta: 4,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := locality.Run(g, locality.RunConfig{IDs: assignment, Engine: engine}, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds == 0 {
+			b.Fatal("no rounds")
+		}
+	}
+}
+
+// BenchmarkE12Indistinguishability reproduces the high-girth-balls-are-trees
+// check.
+func BenchmarkE12Indistinguishability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, ok := harness.ByIDSupplementary("E12"); !ok {
+			b.Fatal("E12 missing")
+		}
+		driver, _ := harness.ByIDSupplementary("E12")
+		driver(harness.Config{Quick: true, Seed: 2016})
+	}
+}
+
+// BenchmarkA1KWvsSweep reproduces the color-reduction ablation.
+func BenchmarkA1KWvsSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		driver, _ := harness.ByIDSupplementary("A1")
+		driver(harness.Config{Quick: true, Seed: 2016})
+	}
+}
+
+// BenchmarkA2PeelThreshold reproduces the peeling-threshold ablation.
+func BenchmarkA2PeelThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		driver, _ := harness.ByIDSupplementary("A2")
+		driver(harness.Config{Quick: true, Seed: 2016})
+	}
+}
+
+// BenchmarkA3SizeBound reproduces the Phase-2 size-bound ablation.
+func BenchmarkA3SizeBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		driver, _ := harness.ByIDSupplementary("A3")
+		driver(harness.Config{Quick: true, Seed: 2016})
+	}
+}

@@ -1,0 +1,66 @@
+// Command localbench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per quantitative claim of the paper (see DESIGN.md's experiment
+// index E1–E11).
+//
+// Usage:
+//
+//	localbench [-experiment=E1|...|E11|all] [-quick] [-seed N] [-format text|csv|markdown]
+//
+// Full mode (the default) matches the EXPERIMENTS.md record and takes a few
+// minutes; -quick shrinks every sweep to run in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"locality/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (E1..E12, A1..A3) or 'all'")
+		quick      = flag.Bool("quick", false, "shrink sweeps to run in seconds")
+		seed       = flag.Uint64("seed", 2016, "random seed for all experiments")
+		format     = flag.String("format", "text", "output format: text, csv or markdown")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	var tables []*harness.Table
+	switch {
+	case strings.EqualFold(*experiment, "all"):
+		tables = append(harness.All(cfg), harness.AllSupplementary(cfg)...)
+	default:
+		driver, ok := harness.ByID(*experiment)
+		if !ok {
+			driver, ok = harness.ByIDSupplementary(strings.ToUpper(*experiment))
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "localbench: unknown experiment %q (want E1..E12, A1..A3 or all)\n", *experiment)
+			return 2
+		}
+		tables = []*harness.Table{driver(cfg)}
+	}
+
+	for _, t := range tables {
+		switch *format {
+		case "text":
+			t.Render(os.Stdout)
+		case "csv":
+			t.CSV(os.Stdout)
+		case "markdown":
+			t.Markdown(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "localbench: unknown format %q\n", *format)
+			return 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,45 @@
+// Derandomize: Theorem 3, executed exhaustively. For tiny n the proof's
+// objects are all finite: the class G_{n,Δ} of ID-labeled instances, the
+// exact failure probability of a RandLOCAL algorithm (every joint random-bit
+// assignment enumerated), and the space of bit-fixing functions φ. The
+// program finds the lexicographically-first good φ* and verifies that the
+// deterministic algorithm A_Det[φ*] errs on ZERO instances.
+package main
+
+import (
+	"fmt"
+
+	"locality/internal/derand"
+)
+
+func main() {
+	const (
+		bits    = 2
+		n       = 3
+		delta   = 2
+		idSpace = 3
+	)
+	alg := derand.PriorityMIS(bits)
+	instances := derand.EnumerateInstances(n, delta, idSpace)
+	fmt.Printf("G_{%d,%d} with IDs from 1..%d: %d instances\n", n, delta, idSpace, len(instances))
+
+	var unionBound float64
+	for _, inst := range instances {
+		unionBound += derand.ExactFailure(alg, inst)
+	}
+	fmt.Printf("Σ exact failure probabilities of A_Rand (union bound on bad φ): %.4f\n", unionBound)
+
+	res := derand.SearchPhi(alg, instances, idSpace, 1<<22)
+	fmt.Printf("φ space scanned exhaustively: %d candidates, %d bad (fraction %.4f)\n",
+		res.Tried, res.BadCount, float64(res.BadCount)/float64(res.Tried))
+	if res.Found == nil {
+		fmt.Println("no good φ exists at this bit budget")
+		return
+	}
+	fmt.Printf("lexicographically first good φ*: ID 1↦%02b, ID 2↦%02b, ID 3↦%02b\n",
+		res.Found[1], res.Found[2], res.Found[3])
+	if derand.IsGood(alg, instances, res.Found) {
+		fmt.Println("verified: A_Det[φ*] solves MIS on EVERY instance — Theorem 3's conclusion,")
+		fmt.Println("checked mechanically rather than asymptotically.")
+	}
+}

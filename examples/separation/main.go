@@ -1,0 +1,42 @@
+// Separation: the paper's headline, measured. Sweeps n and prints the
+// round counts of the randomized (Theorem 11) and deterministic (Theorem 9)
+// Δ-coloring algorithms side by side: the deterministic slope is Θ(log n),
+// the randomized one is nearly flat (Θ(log log n)).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locality"
+)
+
+func main() {
+	const delta = 8
+	fmt.Printf("%8s  %12s  %12s\n", "n", "rand rounds", "det rounds")
+	r := locality.NewRand(2016)
+	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+		g := locality.RandomTree(n, delta, r)
+
+		randRes, err := locality.Run(g,
+			locality.RunConfig{Randomized: true, Seed: uint64(n), MaxRounds: 1 << 22},
+			locality.NewTheorem11Factory(locality.Theorem11Options{Delta: delta}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := locality.ValidateColoring(g, delta, locality.ColoringOutputs(randRes.Outputs)); err != nil {
+			log.Fatalf("n=%d: randomized coloring invalid: %v", n, err)
+		}
+
+		detRes, err := locality.Run(g,
+			locality.RunConfig{IDs: locality.ShuffledIDs(n, r), MaxRounds: 1 << 22},
+			locality.NewTreeColoringFactory(locality.TreeColoringOptions{Q: delta}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %12d  %12d\n", n, randRes.Rounds, detRes.Rounds)
+	}
+	fmt.Println("\nthe separation is in the slopes: doubling n adds a constant to the det")
+	fmt.Println("column (Θ(log n) total) but almost nothing to the rand column (Θ(log log n));")
+	fmt.Println("Theorem 5 proves the det side cannot do better, Theorem 11 realizes the rand side.")
+}

@@ -1,0 +1,53 @@
+// Speedup: Theorem 6 in action. A deliberately slow (Δ+1)-coloring
+// algorithm — its round count carries an ε·log_Δ n term — is transformed
+// black-box: collect a small view, compute short IDs by simulating Linial's
+// coloring on a power graph, then re-run the algorithm pretending the graph
+// has only 2^ℓ' vertices. The transformed round count is n-independent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locality"
+	"locality/internal/mathx"
+	"locality/internal/speedup"
+)
+
+func main() {
+	const delta = 4
+	mk := speedup.NewSlowColoringFactory(delta, 1, 8) // ε = 1/8
+	tBound := speedup.SlowColoringRounds(delta, 1, 8)
+
+	fmt.Printf("%6s  %4s  %12s  %12s  %4s\n", "n", "ℓ", "slow rounds", "transformed", "ℓ'")
+	r := locality.NewRand(3)
+	for _, n := range []int{64, 256, 1024} {
+		g := locality.RandomTree(n, delta, r)
+		bits := mathx.CeilLog2(n + 1)
+		plan := locality.NewTheorem6Plan(tBound, delta, bits, 1)
+		res, err := locality.Run(g,
+			locality.RunConfig{IDs: locality.ShuffledIDs(n, r), MaxRounds: 1 << 22},
+			locality.NewTheorem6Factory(plan, bits, mk(plan.BitsOut)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		colors := make([]int, n)
+		for v, o := range res.Outputs {
+			colors[v] = o.(int)
+		}
+		if err := locality.ValidateColoring(g, delta+1, colors); err != nil {
+			log.Fatalf("n=%d: transformed coloring invalid: %v", n, err)
+		}
+		fmt.Printf("%6d  %4d  %12d  %12d  %4d\n", n, bits, tBound(delta, bits), res.Rounds, plan.BitsOut)
+	}
+
+	fmt.Println("\nplan-level sweep at ε=1/2 (the ID-compression regime):")
+	tb2 := speedup.SlowColoringRounds(delta, 1, 2)
+	for _, bits := range []int{56, 58, 60, 62} {
+		plan := locality.NewTheorem6Plan(tb2, delta, bits, 1)
+		fmt.Printf("  ℓ=%d: slow=%d rounds, transformed=%d rounds, ℓ'=%d\n",
+			bits, tb2(delta, bits), plan.R+plan.InnerT, plan.BitsOut)
+	}
+	fmt.Println("ℓ' and the transformed count are flat in ℓ while the slow count keeps growing —")
+	fmt.Println("the mechanism behind 'no natural complexities between ω(log* n) and o(log n)'.")
+}

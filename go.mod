@@ -1,0 +1,3 @@
+module locality
+
+go 1.22

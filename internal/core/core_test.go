@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"testing"
+
+	"locality/internal/core"
+	"locality/internal/graph"
+	"locality/internal/lcl"
+	"locality/internal/rng"
+	"locality/internal/sim"
+)
+
+// runT11 executes the Theorem 11 machine and returns colors + rounds.
+func runT11(t *testing.T, g *graph.Graph, delta int, seed uint64) ([]int, int) {
+	t.Helper()
+	res, err := sim.Run(g, sim.Config{Randomized: true, Seed: seed, MaxRounds: 1 << 20},
+		core.NewT11Factory(core.T11Options{Delta: delta}))
+	if err != nil {
+		t.Fatalf("T11 run failed: %v", err)
+	}
+	return core.Colors(res.Outputs), res.Rounds
+}
+
+func TestT11ColorsTrees(t *testing.T) {
+	r := rng.New(1)
+	tests := []struct {
+		name  string
+		g     *graph.Graph
+		delta int
+	}{
+		{"random tree Δ=8", graph.RandomTree(400, 8, r), 8},
+		{"random tree Δ=12", graph.RandomTree(600, 12, r), 12},
+		{"path Δ=8", graph.Path(200), 8},
+		{"complete 7-ary Δ=8", graph.CompleteKAry(7, 3), 8},
+		{"star Δ=40", graph.Star(41), 40},
+		{"caterpillar Δ=10", graph.Caterpillar(40, 8), 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			colors, _ := runT11(t, tt.g, tt.delta, 7)
+			if err := lcl.Coloring(tt.delta).Validate(lcl.Instance{G: tt.g}, lcl.IntLabels(colors)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestT11SuccessRateModerateDelta(t *testing.T) {
+	// The algorithm is proved for Δ >= 55 but mechanically works for much
+	// smaller Δ; at Δ=10 on 500-vertex trees it should succeed in the
+	// overwhelming majority of seeds.
+	r := rng.New(3)
+	failures := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		g := graph.RandomTree(500, 10, r)
+		colors, _ := runT11(t, g, 10, uint64(100+i))
+		if err := lcl.Coloring(10).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			failures++
+		}
+	}
+	if failures > 1 {
+		t.Errorf("%d/%d failures; expected near-perfect success", failures, trials)
+	}
+}
+
+func TestT11RoundsMatchPlanAndScaleLogLog(t *testing.T) {
+	r := rng.New(5)
+	var rounds []int
+	for _, n := range []int{256, 4096, 65536} {
+		g := graph.RandomTree(n, 8, r)
+		colors, got := runT11(t, g, 8, 11)
+		if err := lcl.Coloring(8).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := core.T11Rounds(n, core.T11Options{Delta: 8})
+		if got != want {
+			t.Errorf("n=%d: rounds %d, plan %d", n, got, want)
+		}
+		rounds = append(rounds, got)
+	}
+	// O(log_Δ log n + log* n): across a 256x increase in n the rounds may
+	// grow only via the log log n Phase-2 budget — additively, slowly.
+	if rounds[2]-rounds[0] > 40 {
+		t.Errorf("round growth too fast for log log n: %v", rounds)
+	}
+}
+
+func TestT11EngineEquivalence(t *testing.T) {
+	r := rng.New(9)
+	g := graph.RandomTree(200, 8, r)
+	var prev []int
+	for _, engine := range []sim.Engine{sim.EngineSequential, sim.EngineConcurrent} {
+		res, err := sim.Run(g, sim.Config{Randomized: true, Seed: 13, Engine: engine, MaxRounds: 1 << 20},
+			core.NewT11Factory(core.T11Options{Delta: 8}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := core.Colors(res.Outputs)
+		if prev != nil {
+			for v := range cur {
+				if cur[v] != prev[v] {
+					t.Fatalf("engines disagree at vertex %d: %d vs %d", v, prev[v], cur[v])
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestT11PhaseAttribution(t *testing.T) {
+	r := rng.New(15)
+	g := graph.RandomTree(800, 10, r)
+	res, err := sim.Run(g, sim.Config{Randomized: true, Seed: 17, MaxRounds: 1 << 20},
+		core.NewT11Factory(core.T11Options{Delta: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[int]int{}
+	for _, o := range res.Outputs {
+		phases[o.(core.T11Result).Phase]++
+	}
+	// Phase 1 should color the overwhelming majority.
+	if phases[1] < g.N()*3/4 {
+		t.Errorf("phase 1 colored only %d/%d vertices", phases[1], g.N())
+	}
+	if phases[0] > 0 {
+		t.Errorf("%d vertices failed", phases[0])
+	}
+	t.Logf("phase attribution: %v", phases)
+}
+
+func runT10(t *testing.T, g *graph.Graph, delta int, seed uint64) ([]int, int) {
+	t.Helper()
+	res, err := sim.Run(g, sim.Config{Randomized: true, Seed: seed, MaxRounds: 1 << 20},
+		core.NewT10Factory(core.T10Options{Delta: delta}))
+	if err != nil {
+		t.Fatalf("T10 run failed: %v", err)
+	}
+	return core.Colors(res.Outputs), res.Rounds
+}
+
+func TestT10ColorsTrees(t *testing.T) {
+	r := rng.New(21)
+	tests := []struct {
+		name  string
+		g     *graph.Graph
+		delta int
+	}{
+		{"random tree Δ=16", graph.RandomTree(500, 16, r), 16},
+		{"random tree Δ=32", graph.RandomTree(800, 32, r), 32},
+		{"complete 15-ary Δ=16", graph.CompleteKAry(15, 2), 16},
+		{"path Δ=16", graph.Path(300), 16},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			colors, _ := runT10(t, tt.g, tt.delta, 23)
+			if err := lcl.Coloring(tt.delta).Validate(lcl.Instance{G: tt.g}, lcl.IntLabels(colors)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestT10RoundsMatchPlan(t *testing.T) {
+	r := rng.New(25)
+	for _, n := range []int{256, 4096} {
+		g := graph.RandomTree(n, 16, r)
+		colors, got := runT10(t, g, 16, 29)
+		if err := lcl.Coloring(16).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := core.T10Rounds(n, core.T10Options{Delta: 16})
+		if got != want {
+			t.Errorf("n=%d: rounds %d, plan %d", n, got, want)
+		}
+	}
+}
+
+func TestT10MostVerticesColoredInPhase1(t *testing.T) {
+	r := rng.New(31)
+	g := graph.RandomTree(2000, 32, r)
+	res, err := sim.Run(g, sim.Config{Randomized: true, Seed: 33, MaxRounds: 1 << 20},
+		core.NewT10Factory(core.T10Options{Delta: 32}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase1, bad, failed := 0, 0, 0
+	for _, o := range res.Outputs {
+		tr := o.(core.T10Result)
+		if tr.Phase == 1 {
+			phase1++
+		}
+		if tr.Bad {
+			bad++
+		}
+		if tr.Color == 0 {
+			failed++
+		}
+	}
+	if failed > 0 {
+		t.Errorf("%d vertices failed", failed)
+	}
+	if phase1 < g.N()/2 {
+		t.Errorf("ColorBidding colored only %d/%d vertices", phase1, g.N())
+	}
+	t.Logf("phase1=%d bad=%d of n=%d", phase1, bad, g.N())
+}
+
+func TestCSequenceTowerGrowth(t *testing.T) {
+	cs := core.CSequence(10000)
+	if len(cs) > 25 {
+		t.Errorf("c-sequence has %d entries for Δ=10000; expected tower (log*-ish) growth", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i] <= cs[i-1] && cs[i] != 100 { // √10000 = 100 cap
+			t.Errorf("c-sequence not increasing at %d: %v", i, cs)
+		}
+	}
+	if cs[len(cs)-1] != 100 {
+		t.Errorf("c-sequence does not end at √Δ: %v", cs[len(cs)-1])
+	}
+}
+
+func TestT11BadSeedStillDetectable(t *testing.T) {
+	// Whatever the seed, the output must be either a valid Δ-coloring or
+	// contain visible failures (0 colors) — never a silently wrong
+	// coloring with all labels in range but improper... the verifier is
+	// the judge either way; run many seeds and require: every failure is
+	// a 0-label failure, not an improper-edge failure.
+	r := rng.New(41)
+	for i := 0; i < 5; i++ {
+		g := graph.RandomTree(300, 8, r)
+		colors, _ := runT11(t, g, 8, uint64(i))
+		err := lcl.Coloring(8).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors))
+		if err == nil {
+			continue
+		}
+		// A failure must be attributable to a 0 label.
+		hasZero := false
+		for _, c := range colors {
+			if c == 0 {
+				hasZero = true
+				break
+			}
+		}
+		if !hasZero {
+			t.Fatalf("seed %d: improper coloring without failure marks: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contribution (Section VI):
+// two RandLOCAL algorithms that Δ-color a tree of maximum degree Δ in
+// O(log_Δ log n + log* n) rounds, exponentially faster in n than the
+// Ω(log_Δ n) DetLOCAL lower bound of Theorem 5.
+//
+//   - Theorem 11 (theorem11.go): the three-phase algorithm for constant
+//     Δ >= 55 — iterated seeded-MIS peeling with colors Δ..4, a
+//     Barenboim–Elkin 3-coloring of the O(log n)-size shattered components
+//     S, and a final greedy recoloring of the leftover degree-<=2 forest.
+//   - Theorem 10 (theorem10.go): the ColorBidding/Filtering algorithm for
+//     large Δ — O(log* Δ) rounds of randomized color bidding that leave
+//     only "bad" vertices in poly(Δ)·log n-size components, finished by a
+//     deterministic √Δ-coloring with the reserved palette.
+//
+// Both machines are pure RandLOCAL: vertices have no IDs and bootstrap all
+// symmetry breaking from private random bits, exactly as the model
+// prescribes. All probabilistic failure modes (random-ID collisions,
+// shattered components exceeding their size bound, a missing free color)
+// surface as output 0, which the Δ-coloring LCL verifier rejects — so the
+// measured failure rate of the implementation is directly comparable to
+// the paper's 1/poly(n) guarantee.
+//
+// Every phase has a round budget that is a function of (n, Δ) only, so the
+// algorithms are uniform and the total round count matches the plan
+// exactly; the experiment harness compares the measured totals against the
+// O(log_Δ log n + log* n) claim.
+package core

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"locality/internal/forest"
+	"locality/internal/mathx"
+	"locality/internal/sim"
+)
+
+// T10Options configures the Theorem 10 (ColorBidding) machine.
+type T10Options struct {
+	// Delta is the palette size and degree bound; the analysis wants it
+	// large, and the machine requires Delta >= 9 so the reserved palette
+	// √Δ >= 3 can drive the Phase 2 forest coloring.
+	Delta int
+	// SizeBound caps the bad components Phase 2 must color; 0 means
+	// max(32, 8·ceil(log2 n)) (the paper proves Δ⁴·log n; measured
+	// components are far smaller, see experiment E3).
+	SizeBound int
+	// IDBits is the length of Phase 2's random identifiers; 0 means 40.
+	IDBits int
+	// PaletteSlack is the Filtering(1) threshold divisor: a vertex is bad
+	// after round 1 if |Ψ₂|-|N'₂| < Δ/PaletteSlack. The paper uses 200 in
+	// the analysis; the default 8 is the practical choice documented in
+	// DESIGN.md.
+	PaletteSlack int
+}
+
+func (o T10Options) withDefaults(n int) T10Options {
+	if o.SizeBound == 0 {
+		o.SizeBound = mathx.Max(32, 8*mathx.CeilLog2(n+1))
+	}
+	if o.IDBits == 0 {
+		o.IDBits = 40
+	}
+	if o.PaletteSlack == 0 {
+		o.PaletteSlack = 8
+	}
+	return o
+}
+
+// T10Result is the per-vertex output of the Theorem 10 machine.
+type T10Result struct {
+	// Color is the final color in 1..Delta, or 0 on failure.
+	Color int
+	// Phase is 1 (ColorBidding) or 2 (shattered finish); 0 on failure.
+	Phase int
+	// Bad reports whether the vertex was marked bad (E3 diagnostics).
+	Bad bool
+}
+
+// CSequence returns the paper's c_i growth sequence with the practical
+// growth rule c_{i+1} = min(√Δ, c_i·e^{c_i/6}) (the paper's e^200 divisor
+// makes t astronomically large; DESIGN.md documents the substitution —
+// the sequence still grows as a tower, so t = O(log* Δ)).
+func CSequence(delta int) []float64 {
+	limit := math.Sqrt(float64(delta))
+	cs := []float64{1}
+	for cs[len(cs)-1] < limit {
+		c := cs[len(cs)-1]
+		next := math.Min(limit, c*math.Exp(c/6))
+		cs = append(cs, next)
+		if len(cs) > 60 {
+			panic("core: c-sequence failed to converge (internal bug)")
+		}
+	}
+	return cs
+}
+
+// t10Plan is the shared schedule.
+type t10Plan struct {
+	opt       T10Options
+	reserve   int // √Δ reserved colors
+	cs        []float64
+	iters     int // t = len(cs)
+	fplan     forest.Plan
+	p1End     int // last phase-1 step
+	markBad   int // step marking the uncolored as bad
+	forestEnd int
+	total     int
+}
+
+func newT10Plan(n int, opt T10Options) t10Plan {
+	p := t10Plan{opt: opt}
+	p.reserve = int(math.Ceil(math.Sqrt(float64(opt.Delta))))
+	p.cs = CSequence(opt.Delta)
+	p.iters = len(p.cs)
+	// Step layout: step 1 hello; iterations i = 1..t occupy steps 2i, 2i+1.
+	p.p1End = 1 + 2*p.iters
+	p.markBad = p.p1End + 1
+	fopt := forest.Options{
+		Q:         p.reserve,
+		SizeBound: opt.SizeBound,
+		IDSpace:   1 << opt.IDBits,
+	}
+	p.fplan = forest.NewPlan(fopt.Resolve(n))
+	p.forestEnd = p.markBad + p.fplan.Rounds() + 1
+	p.total = p.forestEnd + 2 // harvest step, then halt
+	return p
+}
+
+// T10Rounds returns the total communication rounds of the Theorem 10
+// machine for the given graph size.
+func T10Rounds(n int, opt T10Options) int {
+	opt = opt.withDefaults(n)
+	return newT10Plan(n, opt).total - 1
+}
+
+// t10Status is the phase-1 broadcast.
+type t10Status struct {
+	Participating bool
+	Color         int
+	Bid           []int
+}
+
+type t10 struct {
+	opt  T10Options
+	plan t10Plan
+	env  sim.Env
+
+	id      uint64
+	color   int
+	phase   int
+	bad     bool
+	palette map[int]struct{} // Ψ
+	bid     []int
+
+	inner  sim.Machine
+	innerD bool
+	failed bool
+
+	nbr   []t10Status
+	heard []bool
+	fresh []bool
+}
+
+var _ sim.Machine = (*t10)(nil)
+
+// NewT10Factory returns the Theorem 10 ColorBidding machine.
+func NewT10Factory(opt T10Options) sim.Factory {
+	if opt.Delta < 9 {
+		panic(fmt.Sprintf("core: Theorem 10 needs Delta >= 9 (√Δ >= 3), got %d", opt.Delta))
+	}
+	return func() sim.Machine { return &t10{opt: opt} }
+}
+
+func (m *t10) Init(env sim.Env) {
+	if env.Rand == nil {
+		panic("core: Theorem 10 is a RandLOCAL algorithm; Config.Randomized required")
+	}
+	m.env = env
+	m.opt = m.opt.withDefaults(env.N)
+	m.plan = newT10Plan(env.N, m.opt)
+	m.id = env.Rand.Uint64()%(1<<m.opt.IDBits) + 1
+	m.palette = make(map[int]struct{}, m.opt.Delta-m.plan.reserve)
+	for c := 1; c <= m.opt.Delta-m.plan.reserve; c++ {
+		m.palette[c] = struct{}{}
+	}
+	m.nbr = make([]t10Status, env.Degree)
+	m.heard = make([]bool, env.Degree)
+	m.fresh = make([]bool, env.Degree)
+}
+
+func (m *t10) statusNow() t10Status {
+	return t10Status{
+		Participating: m.color == 0 && !m.bad,
+		Color:         m.color,
+		Bid:           m.bid,
+	}
+}
+
+func (m *t10) absorb(recv []sim.Message) {
+	for p, msg := range recv {
+		m.fresh[p] = false
+		if msg == nil {
+			continue
+		}
+		st, ok := msg.(t10Status)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected message %T", msg))
+		}
+		m.nbr[p] = st
+		m.heard[p] = true
+		m.fresh[p] = true
+	}
+}
+
+func (m *t10) Step(step int, recv []sim.Message) ([]sim.Message, bool) {
+	if m.failed {
+		return nil, true
+	}
+	pl := &m.plan
+	if step > pl.markBad && step <= pl.forestEnd {
+		return m.forestStep(step, recv)
+	}
+	m.absorb(recv)
+	switch {
+	case step == 1:
+		// Hello.
+	case step <= pl.p1End:
+		local := step - 1 // 1-based within phase 1
+		iter := (local + 1) / 2
+		if local%2 == 1 {
+			m.bidStep(iter)
+		} else {
+			m.resolveStep()
+		}
+	case step == pl.markBad:
+		m.updatePaletteAndNeighbors()
+		if m.color == 0 {
+			m.bad = true // Filtering(t): every survivor is bad
+		}
+		m.startForest()
+	case step == pl.forestEnd+1:
+		m.harvestForest()
+	default:
+		return nil, true
+	}
+	if m.failed {
+		return nil, true
+	}
+	return sim.Broadcast(m.env.Degree, m.statusNow()), false
+}
+
+// bidStep is sub-step A of iteration iter: apply the previous iteration's
+// filtering, refresh the palette, then draw the bid S_v.
+func (m *t10) bidStep(iter int) {
+	m.updatePaletteAndNeighbors()
+	if iter >= 2 {
+		m.filter(iter - 1)
+	}
+	m.bid = nil
+	if m.color != 0 || m.bad {
+		return
+	}
+	// Deterministic palette order: map iteration order must never reach
+	// the RNG, or runs stop being reproducible across engines.
+	psi := make([]int, 0, len(m.palette))
+	for c := 1; c <= m.opt.Delta-m.plan.reserve; c++ {
+		if _, ok := m.palette[c]; ok {
+			psi = append(psi, c)
+		}
+	}
+	if len(psi) == 0 {
+		m.bad = true
+		return
+	}
+	ci := m.plan.cs[iter-1]
+	if iter == 1 {
+		m.bid = []int{psi[m.env.Rand.Intn(len(psi))]}
+		return
+	}
+	prob := ci / float64(len(psi))
+	for _, c := range psi {
+		if m.env.Rand.Bernoulli(prob) {
+			m.bid = append(m.bid, c)
+		}
+	}
+}
+
+// resolveStep is sub-step B: color the vertex if some bid color is not bid
+// by any participating neighbor.
+func (m *t10) resolveStep() {
+	if m.color != 0 || m.bad || len(m.bid) == 0 {
+		return
+	}
+	taken := make(map[int]struct{})
+	for p := range m.nbr {
+		if !m.fresh[p] || !m.nbr[p].Participating {
+			continue
+		}
+		for _, c := range m.nbr[p].Bid {
+			taken[c] = struct{}{}
+		}
+	}
+	best := 0
+	for _, c := range m.bid {
+		if _, clash := taken[c]; !clash {
+			if best == 0 || c < best {
+				best = c
+			}
+		}
+	}
+	if best != 0 {
+		m.color = best
+		m.phase = 1
+	}
+	m.bid = nil
+}
+
+// updatePaletteAndNeighbors removes the colors permanently taken by
+// neighbors from Ψ.
+func (m *t10) updatePaletteAndNeighbors() {
+	for p := range m.nbr {
+		if m.heard[p] && m.nbr[p].Color != 0 {
+			delete(m.palette, m.nbr[p].Color)
+		}
+	}
+}
+
+// filter applies Filtering(i) using the post-iteration-i state.
+func (m *t10) filter(i int) {
+	if m.color != 0 || m.bad {
+		return
+	}
+	// N'_{i+1}: participating uncolored neighbors after iteration i.
+	survivors := 0
+	for p := range m.nbr {
+		if m.fresh[p] && m.nbr[p].Participating {
+			survivors++
+		}
+	}
+	d := float64(m.opt.Delta)
+	if i == 1 {
+		if float64(len(m.palette))-float64(survivors) < d/float64(m.opt.PaletteSlack) {
+			m.bad = true
+		}
+		return
+	}
+	if i+1 <= len(m.plan.cs) {
+		if float64(survivors) > d/m.plan.cs[i] {
+			// c_{i+1} in the paper's 1-based indexing is cs[i] here.
+			m.bad = true
+		}
+	}
+}
+
+// startForest builds the embedded Phase 2 machine over the bad vertices.
+func (m *t10) startForest() {
+	fopt := forest.Options{
+		Q:           m.plan.reserve,
+		SizeBound:   m.opt.SizeBound,
+		IDSpace:     1 << m.opt.IDBits,
+		ColorOffset: m.opt.Delta - m.plan.reserve,
+		IDOf:        func(sim.Env) uint64 { return m.id },
+		Active:      func(sim.Env) bool { return m.bad },
+	}
+	m.inner = forest.NewFactory(fopt)()
+	m.inner.Init(m.env)
+}
+
+func (m *t10) forestStep(step int, recv []sim.Message) ([]sim.Message, bool) {
+	local := step - m.plan.markBad
+	if m.innerD {
+		return nil, false
+	}
+	if local == 1 {
+		recv = make([]sim.Message, m.env.Degree)
+	}
+	send, done := m.inner.Step(local, recv)
+	if done {
+		m.innerD = true
+	}
+	return send, false
+}
+
+func (m *t10) harvestForest() {
+	if m.bad {
+		c := m.inner.Output().(int)
+		if c == 0 {
+			m.failed = true
+			return
+		}
+		m.color = c
+		m.phase = 2
+	}
+	m.inner = nil
+}
+
+func (m *t10) Output() any {
+	if m.failed || m.color == 0 {
+		return T10Result{Bad: m.bad}
+	}
+	return T10Result{Color: m.color, Phase: m.phase, Bad: m.bad}
+}

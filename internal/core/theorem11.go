@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+
+	"locality/internal/forest"
+	"locality/internal/linial"
+	"locality/internal/mathx"
+	"locality/internal/sim"
+)
+
+// T11Options configures the Theorem 11 machine.
+type T11Options struct {
+	// Delta is the palette size and degree bound. The paper proves the
+	// algorithm for Delta >= 55; the machine runs for any Delta >= 4 and
+	// the experiments measure where it actually starts succeeding.
+	Delta int
+	// SizeBound caps the shattered components Phase 2 must color; 0 means
+	// max(32, 8·ceil(log2 n)), matching the O(log n) whp bound.
+	SizeBound int
+	// IDBits is the length of the random identifiers (collision
+	// probability n²/2^IDBits); 0 means 40.
+	IDBits int
+}
+
+func (o T11Options) withDefaults(n int) T11Options {
+	if o.SizeBound == 0 {
+		o.SizeBound = mathx.Max(32, 8*mathx.CeilLog2(n+1))
+	}
+	if o.IDBits == 0 {
+		o.IDBits = 40
+	}
+	return o
+}
+
+// T11Result is the per-vertex output of the Theorem 11 machine.
+type T11Result struct {
+	// Color is the final color in 1..Delta, or 0 on failure.
+	Color int
+	// Phase records where the color was assigned: 1 (MIS peeling),
+	// 2 (shattered-component coloring) or 3 (final recoloring); 0 on
+	// failure.
+	Phase int
+	// InS reports membership in the shattered set S (diagnostics for the
+	// E3 experiment).
+	InS bool
+}
+
+// Colors extracts the color labels from a run's outputs.
+func Colors(outputs []any) []int {
+	colors := make([]int, len(outputs))
+	for v, o := range outputs {
+		switch r := o.(type) {
+		case T11Result:
+			colors[v] = r.Color
+		case T10Result:
+			colors[v] = r.Color
+		default:
+			panic(fmt.Sprintf("core: output %d is %T, not a coloring result", v, o))
+		}
+	}
+	return colors
+}
+
+// t11Plan is the globally shared round schedule.
+type t11Plan struct {
+	opt T11Options
+	// Bootstrap (random IDs -> base Δ+1 coloring).
+	sched []linial.Family
+	kw    linial.KWPlan
+	kwAt  [][2]int
+	// Phase 1: iterations of length Δ+3 steps each.
+	iters int
+	// Phase 2: inner forest plan.
+	fplan forest.Plan
+	// Step boundaries (inclusive starts).
+	bootEnd   int // last bootstrap step
+	p1End     int // last phase-1 step (including trailing finalize)
+	sDetect   int // step at which S membership is computed
+	forestEnd int // last inner-forest step
+	p3Start   int
+	total     int // halting step
+}
+
+func newT11Plan(n int, opt T11Options) t11Plan {
+	p := t11Plan{opt: opt}
+	idSpace := 1 << opt.IDBits
+	p.sched = linial.Schedule(idSpace, opt.Delta)
+	fp := linial.FixedPoint(idSpace, opt.Delta)
+	if fp > opt.Delta+1 {
+		p.kw = linial.NewKWPlan(fp, opt.Delta+1)
+		for i := range p.kw.Palettes {
+			for j := 0; j < p.kw.PassLen(i); j++ {
+				p.kwAt = append(p.kwAt, [2]int{i, j})
+			}
+		}
+	}
+	p.iters = mathx.Max(0, opt.Delta-3) // colors Δ down to 4
+	// Step layout:
+	//   1:                      draw ID, broadcast
+	//   2..1+S:                 Linial reductions
+	//   2+S..1+S+K:             KW passes
+	p.bootEnd = 1 + len(p.sched) + len(p.kwAt)
+	//   each phase-1 iteration: Δ+3 steps; one trailing finalize step.
+	p.p1End = p.bootEnd + p.iters*(opt.Delta+3) + 1
+	//   S detection consumes the finalize broadcasts.
+	p.sDetect = p.p1End + 1
+	fopt := forest.Options{
+		Q:         3,
+		SizeBound: opt.SizeBound,
+		IDSpace:   1 << opt.IDBits,
+	}
+	p.fplan = forest.NewPlan(fopt.Resolve(n))
+	p.forestEnd = p.sDetect + p.fplan.Rounds() + 1
+	// One harvest step after the forest window, then Phase 3.
+	p.p3Start = p.forestEnd + 2
+	// Phase 3 locals: 1 settle + (Δ+1) M1 sweep + (Δ+1) M2 sweep + 3
+	// recolor steps; the machine halts at step total.
+	p.total = p.p3Start + 2*opt.Delta + 7
+	return p
+}
+
+// T11Rounds returns the total communication rounds of the Theorem 11
+// machine for the given graph size.
+func T11Rounds(n int, opt T11Options) int {
+	opt = opt.withDefaults(n)
+	return newT11Plan(n, opt).total - 1
+}
+
+// t11Status is the every-step broadcast.
+type t11Status struct {
+	ID     uint64
+	Base   int     // bootstrap color (0-based); -1 before start
+	Color  int     // final color, 0 = none
+	InU    bool    // still uncolored and participating
+	X      float64 // this iteration's random value
+	HasX   bool
+	InI    bool // joined this iteration's independent set
+	Class3 int  // phase-3 class (1..3), 0 = none
+}
+
+type t11 struct {
+	opt  T11Options
+	plan t11Plan
+	env  sim.Env
+
+	id     uint64
+	base   int
+	color  int
+	phase  int
+	inU    bool
+	failed bool
+
+	x    float64
+	hasX bool
+	inI  bool
+
+	inS    bool
+	inner  sim.Machine // phase-2 forest machine
+	innerD bool        // inner done
+
+	class3 int
+
+	nbr   []t11Status
+	heard []bool
+	fresh []bool
+}
+
+var _ sim.Machine = (*t11)(nil)
+
+// NewT11Factory returns the Theorem 11 Δ-coloring machine.
+func NewT11Factory(opt T11Options) sim.Factory {
+	if opt.Delta < 4 {
+		panic(fmt.Sprintf("core: Theorem 11 needs Delta >= 4, got %d", opt.Delta))
+	}
+	return func() sim.Machine { return &t11{opt: opt} }
+}
+
+func (m *t11) Init(env sim.Env) {
+	if env.Rand == nil {
+		panic("core: Theorem 11 is a RandLOCAL algorithm; Config.Randomized required")
+	}
+	m.env = env
+	m.opt = m.opt.withDefaults(env.N)
+	m.plan = newT11Plan(env.N, m.opt)
+	m.id = env.Rand.Uint64()%(1<<m.opt.IDBits) + 1
+	m.base = int(m.id) - 1
+	m.inU = true
+	m.nbr = make([]t11Status, env.Degree)
+	m.heard = make([]bool, env.Degree)
+	m.fresh = make([]bool, env.Degree)
+}
+
+func (m *t11) statusNow() t11Status {
+	return t11Status{
+		ID: m.id, Base: m.base, Color: m.color, InU: m.inU,
+		X: m.x, HasX: m.hasX, InI: m.inI, Class3: m.class3,
+	}
+}
+
+func (m *t11) absorb(recv []sim.Message) {
+	for p, msg := range recv {
+		m.fresh[p] = false
+		if msg == nil {
+			continue
+		}
+		st, ok := msg.(t11Status)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected message %T", msg))
+		}
+		m.nbr[p] = st
+		m.heard[p] = true
+		m.fresh[p] = true
+	}
+}
+
+func (m *t11) Step(step int, recv []sim.Message) ([]sim.Message, bool) {
+	if m.failed {
+		return nil, true
+	}
+	pl := &m.plan
+	// Phase 2's inner forest machine owns the message channel during its
+	// window; everything else speaks t11Status.
+	if step > pl.sDetect && step <= pl.forestEnd {
+		return m.forestStep(step, recv)
+	}
+	m.absorb(recv)
+	switch {
+	case step <= pl.bootEnd:
+		m.bootstrapStep(step)
+	case step <= pl.p1End:
+		m.phase1Step(step - pl.bootEnd)
+	case step == pl.sDetect:
+		m.detectS()
+		m.startForest()
+	case step < pl.p3Start:
+		// Buffer step after the forest window: collect phase-2 colors.
+		m.harvestForest()
+	case step < pl.total:
+		m.phase3Step(step - pl.p3Start + 1)
+	default:
+		return nil, true
+	}
+	if m.failed {
+		return nil, true
+	}
+	return sim.Broadcast(m.env.Degree, m.statusNow()), false
+}
+
+// bootstrapStep runs random-ID Linial + KW to a (Δ+1)-coloring.
+func (m *t11) bootstrapStep(step int) {
+	if step == 1 {
+		return // just broadcast the initial ID-derived color
+	}
+	nbrs := make([]int, 0, m.env.Degree)
+	for p := range m.nbr {
+		if !m.fresh[p] {
+			continue
+		}
+		if m.nbr[p].Base == m.base {
+			m.failed = true // random-ID collision
+			return
+		}
+		nbrs = append(nbrs, m.nbr[p].Base)
+	}
+	s := len(m.plan.sched)
+	if step <= 1+s {
+		m.base = m.plan.sched[step-2].Reduce(m.base, nbrs)
+		return
+	}
+	idx := step - 2 - s
+	pass, sub := m.plan.kwAt[idx][0], m.plan.kwAt[idx][1]
+	m.base = m.plan.kw.Recolor(pass, sub, m.base, nbrs)
+}
+
+// phase1Step runs the seeded-MIS peeling. Iterations have Δ+3 sub-steps:
+//
+//	sub 1:        finalize previous iteration's I (color i_prev), draw x
+//	sub 2:        local minima join I
+//	sub 3..Δ+3:   base-color class sweep completing the MIS
+//
+// One trailing step (local index iters*(Δ+3)+1) finalizes the last
+// iteration.
+func (m *t11) phase1Step(local int) {
+	d := m.opt.Delta
+	iter := (local - 1) / (d + 3) // 0-based iteration
+	sub := (local-1)%(d+3) + 1    // 1-based sub-step
+	if iter >= m.plan.iters {
+		m.finalizeIteration(m.plan.iters - 1)
+		return
+	}
+	switch {
+	case sub == 1:
+		m.finalizeIteration(iter - 1)
+		if m.inU {
+			m.x = m.env.Rand.Float64()
+			m.hasX = true
+		}
+	case sub == 2:
+		if m.inU && m.hasX {
+			isMin := true
+			for p := range m.nbr {
+				if m.fresh[p] && m.nbr[p].InU && m.nbr[p].HasX && m.nbr[p].X <= m.x {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				m.inI = true
+			}
+		}
+	default:
+		class := sub - 3 // base-color class 0..Δ
+		if m.inU && !m.inI && m.base == class && !m.anyNbrInI() {
+			m.inI = true
+		}
+	}
+}
+
+func (m *t11) anyNbrInI() bool {
+	for p := range m.nbr {
+		if m.heard[p] && m.nbr[p].InU && m.nbr[p].InI {
+			return true
+		}
+	}
+	return false
+}
+
+// finalizeIteration colors iteration iter's independent set with color
+// Δ-iter and resets the per-iteration state.
+func (m *t11) finalizeIteration(iter int) {
+	if iter < 0 {
+		return
+	}
+	if m.inI {
+		m.color = m.opt.Delta - iter
+		m.phase = 1
+		m.inU = false
+		m.inI = false
+	}
+	m.hasX = false
+}
+
+// detectS computes S = {v in U : |N(v) ∩ U| == 3}.
+func (m *t11) detectS() {
+	if !m.inU {
+		return
+	}
+	uNbrs := 0
+	for p := range m.nbr {
+		if m.heard[p] && m.nbr[p].InU {
+			uNbrs++
+		}
+	}
+	if uNbrs > 3 {
+		// Phase 1 invariant broken: the MIS peeling did not reduce the
+		// uncolored degree to <= 3, which can only happen if some MIS was
+		// not maximal (e.g. after an ID collision in the bootstrap).
+		m.failed = true
+		return
+	}
+	if uNbrs == 3 {
+		m.inS = true
+	}
+}
+
+// startForest builds the embedded Phase 2 machine.
+func (m *t11) startForest() {
+	fopt := forest.Options{
+		Q:         3,
+		SizeBound: m.opt.SizeBound,
+		IDSpace:   1 << m.opt.IDBits,
+		IDOf:      func(sim.Env) uint64 { return m.id },
+		Active:    func(sim.Env) bool { return m.inS },
+	}
+	m.inner = forest.NewFactory(fopt)()
+	m.inner.Init(m.env)
+}
+
+// forestStep drives the embedded forest machine during its window.
+func (m *t11) forestStep(step int, recv []sim.Message) ([]sim.Message, bool) {
+	local := step - m.plan.sDetect
+	if m.innerD {
+		return nil, false
+	}
+	if local == 1 {
+		// The messages in flight are t11 statuses from the detection step;
+		// the inner machine's first step consumes nothing.
+		recv = make([]sim.Message, m.env.Degree)
+	}
+	send, done := m.inner.Step(local, recv)
+	if done {
+		m.innerD = true
+	}
+	return send, false
+}
+
+// harvestForest reads Phase 2's output.
+func (m *t11) harvestForest() {
+	if m.inner == nil {
+		return
+	}
+	if m.inS {
+		c := m.inner.Output().(int)
+		if c == 0 {
+			m.failed = true // component exceeded the size bound
+			return
+		}
+		m.color = c // 1..3
+		m.phase = 2
+		m.inU = false
+	}
+	m.inner = nil
+}
+
+// phase3Step 3-classes the leftover U (degree <= 2) via two base-color MIS
+// sweeps, then greedily recolors class by class.
+func (m *t11) phase3Step(local int) {
+	d := m.opt.Delta
+	switch {
+	case local == 1:
+		// Settle: fresh statuses after the forest window.
+	case local <= 1+(d+1):
+		class := local - 2
+		if m.inU && m.class3 == 0 && m.base == class && !m.anyNbrClass3(1) {
+			m.class3 = 1
+		}
+	case local <= 1+2*(d+1):
+		class := local - 2 - (d + 1)
+		if m.inU && m.class3 == 0 && m.base == class && !m.anyNbrClass3(2) {
+			m.class3 = 2
+		}
+	case local == 2+2*(d+1):
+		if m.inU && m.class3 == 0 {
+			m.class3 = 3
+		}
+		m.recolorIfClass(1)
+	case local == 3+2*(d+1):
+		m.recolorIfClass(2)
+	case local == 4+2*(d+1):
+		m.recolorIfClass(3)
+	}
+}
+
+func (m *t11) anyNbrClass3(class int) bool {
+	for p := range m.nbr {
+		if m.heard[p] && m.nbr[p].InU && m.nbr[p].Class3 == class {
+			return true
+		}
+	}
+	return false
+}
+
+// recolorIfClass gives class-j vertices an available color: any color in
+// 1..Δ not used by a colored neighbor. Phase 1 maximality guarantees
+// availability exceeds the number of uncolored neighbors (see the paper's
+// Phase 3 argument), so earlier-class recolorings cannot exhaust it.
+func (m *t11) recolorIfClass(j int) {
+	if !m.inU || m.class3 != j {
+		return
+	}
+	used := make([]bool, m.opt.Delta+1)
+	for p := range m.nbr {
+		if m.heard[p] {
+			if c := m.nbr[p].Color; c >= 1 && c <= m.opt.Delta {
+				used[c] = true
+			}
+		}
+	}
+	for c := 1; c <= m.opt.Delta; c++ {
+		if !used[c] {
+			m.color = c
+			m.phase = 3
+			m.inU = false
+			return
+		}
+	}
+	m.failed = true // no available color: Phase 1/2 invariants broke
+}
+
+func (m *t11) Output() any {
+	if m.failed || m.color == 0 {
+		return T11Result{InS: m.inS}
+	}
+	return T11Result{Color: m.color, Phase: m.phase, InS: m.inS}
+}

@@ -1,0 +1,177 @@
+package derand
+
+import (
+	"testing"
+
+	"locality/internal/graph"
+	"locality/internal/ids"
+)
+
+func TestEnumerateInstancesCounts(t *testing.T) {
+	// n=2, Δ=1, idSpace=2: graphs = {empty, single edge} = 2; injections
+	// 2·1 = 2 -> 4 instances.
+	insts := EnumerateInstances(2, 1, 2)
+	if len(insts) != 4 {
+		t.Fatalf("got %d instances, want 4", len(insts))
+	}
+	// n=3, Δ=2, idSpace=3: graphs = all 8 edge subsets of a triangle (all
+	// have Δ<=2); injections 3! = 6 -> 48.
+	insts = EnumerateInstances(3, 2, 3)
+	if len(insts) != 48 {
+		t.Fatalf("got %d instances, want 48", len(insts))
+	}
+	// Degree bound excludes: n=3, Δ=1: subsets without two incident edges:
+	// empty + 3 single edges = 4; × 6 = 24.
+	insts = EnumerateInstances(3, 1, 3)
+	if len(insts) != 24 {
+		t.Fatalf("got %d instances, want 24", len(insts))
+	}
+	for _, inst := range insts {
+		if !inst.IDs.Unique() {
+			t.Fatal("instance with duplicate IDs")
+		}
+	}
+}
+
+func TestPriorityMISCorrectWithDistinctWords(t *testing.T) {
+	alg := PriorityMIS(3)
+	g := graph.Path(4)
+	inst := Instance{G: g, IDs: ids.Sequential(4)}
+	// Sorted, reverse-sorted, and mixed words: all distinct => must solve.
+	for _, words := range [][]uint64{
+		{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1},
+	} {
+		outputs, err := runWithBits(alg, inst, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alg.Validate(inst, outputs); err != nil {
+			t.Errorf("words %v: %v", words, err)
+		}
+	}
+	// A blocking adjacent tie must fail.
+	outputs, err := runWithBits(alg, inst, []uint64{5, 5, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Validate(inst, outputs); err == nil {
+		t.Error("blocking tie did not fail")
+	}
+	// A dominated tie resolves: 5,5 adjacent but one gets eliminated by a
+	// joining third vertex (7 beats the right 5).
+	outputs, err = runWithBits(alg, inst, []uint64{5, 5, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Validate(inst, outputs); err != nil {
+		t.Errorf("dominated tie should succeed: %v", err)
+	}
+}
+
+func TestExactFailureMonotoneInBits(t *testing.T) {
+	// On a fixed instance, more bits => (weakly) smaller failure
+	// probability.
+	g := graph.Path(3)
+	inst := Instance{G: g, IDs: ids.Sequential(3)}
+	var prev float64 = 2
+	for _, bits := range []int{1, 2, 4} {
+		p := ExactFailure(PriorityMIS(bits), inst)
+		if p > prev {
+			t.Errorf("failure grew with bits: %v -> %v at %d bits", prev, p, bits)
+		}
+		prev = p
+	}
+	// Exact value for 1 bit on an edge: failure iff both words equal...
+	// P(tie) = 1/2 per adjacent pair; on a single edge instance failure
+	// prob must be exactly 1/2.
+	edge := Instance{G: graph.Path(2), IDs: ids.Sequential(2)}
+	if p := ExactFailure(PriorityMIS(1), edge); p != 0.5 {
+		t.Errorf("single-edge 1-bit failure = %v, want 0.5", p)
+	}
+}
+
+func TestSearchPhiFindsGoodPhiAndItDerandomizes(t *testing.T) {
+	// The Theorem 3 demonstration: n=3, Δ=2, idSpace=3, 2-bit words.
+	// φ space = (2²)³ = 64 — exhaustively scannable.
+	alg := PriorityMIS(2)
+	instances := EnumerateInstances(3, 2, 3)
+	res := SearchPhi(alg, instances, 3, 1<<20)
+	if !res.Exhausted {
+		t.Fatal("expected exhaustive scan")
+	}
+	if res.Found == nil {
+		t.Fatal("no good φ found; Theorem 3 demo broken")
+	}
+	if res.BadCount == 0 {
+		t.Error("every φ good? the failure mode vanished")
+	}
+	// The found φ must be injective (blocking ties are otherwise possible).
+	seen := map[uint64]bool{}
+	for id := 1; id <= 3; id++ {
+		if seen[res.Found[id]] {
+			t.Errorf("good φ not injective: %v", res.Found)
+		}
+		seen[res.Found[id]] = true
+	}
+	// And A_Det[φ*] must err on zero instances — re-verified explicitly.
+	if !IsGood(alg, instances, res.Found) {
+		t.Error("reported good φ fails IsGood")
+	}
+	t.Logf("φ* = %v; %d/%d φ's bad", res.Found[1:], res.BadCount, res.Tried)
+}
+
+func TestSearchPhiUnionBoundConsistency(t *testing.T) {
+	// The union bound: P(φ bad) <= Σ_instances P(A_Rand errs on instance).
+	// With exhaustive enumeration both sides are exact numbers; check the
+	// inequality the proof of Theorem 3 rests on.
+	alg := PriorityMIS(2)
+	instances := EnumerateInstances(2, 1, 2)
+	res := SearchPhi(alg, instances, 2, 1<<20)
+	if !res.Exhausted {
+		t.Fatal("expected exhaustive scan")
+	}
+	badFrac := float64(res.BadCount) / float64(res.Tried)
+	var unionBound float64
+	for _, inst := range instances {
+		unionBound += ExactFailure(alg, inst)
+	}
+	if badFrac > unionBound {
+		t.Errorf("bad fraction %v exceeds union bound %v", badFrac, unionBound)
+	}
+	t.Logf("bad fraction %v, union bound %v", badFrac, unionBound)
+}
+
+func TestSearchPhiNonExhaustiveFindsFirst(t *testing.T) {
+	// 4-bit words on idSpace 4: 2^16 space exceeds the scan budget 2000 —
+	// the search stops at the first good φ.
+	alg := PriorityMIS(4)
+	instances := EnumerateInstances(2, 1, 4)
+	res := SearchPhi(alg, instances, 4, 2000)
+	if res.Exhausted {
+		t.Fatal("scan should not be exhaustive")
+	}
+	if res.Found == nil {
+		t.Fatal("no good φ within budget")
+	}
+	if !IsGood(alg, instances, res.Found) {
+		t.Error("found φ not actually good")
+	}
+}
+
+func TestEnumerateRejectsLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnumerateInstances(6) did not panic")
+		}
+	}()
+	EnumerateInstances(6, 2, 6)
+}
+
+func TestCorollary1Overhead(t *testing.T) {
+	// Derandomization at N = 2^(n²) costs at most +2 log* levels, for any n.
+	for _, n := range []float64{2, 16, 1e6, 1e18, 1e300} {
+		if d := Corollary1Overhead(n); d < 0 || d > 2 {
+			t.Errorf("n=%g: overhead %d outside [0,2]", n, d)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"locality/internal/rng"
+)
+
+func TestPathRingStar(t *testing.T) {
+	p := Path(6)
+	if p.N() != 6 || p.M() != 5 || p.MaxDegree() != 2 || !p.IsTree() {
+		t.Errorf("Path(6) malformed: n=%d m=%d Δ=%d", p.N(), p.M(), p.MaxDegree())
+	}
+	r := Ring(6)
+	if r.N() != 6 || r.M() != 6 || r.MaxDegree() != 2 || r.Girth(0) != 6 {
+		t.Errorf("Ring(6) malformed")
+	}
+	s := Star(6)
+	if s.N() != 6 || s.M() != 5 || s.MaxDegree() != 5 || s.Degree(0) != 5 || !s.IsTree() {
+		t.Errorf("Star(6) malformed")
+	}
+}
+
+func TestCompleteKAry(t *testing.T) {
+	tests := []struct {
+		k, depth   int
+		wantN      int
+		wantMaxDeg int
+	}{
+		{2, 0, 1, 0},
+		{2, 1, 3, 2},
+		{2, 3, 15, 3},
+		{3, 2, 13, 4},
+	}
+	for _, tt := range tests {
+		g := CompleteKAry(tt.k, tt.depth)
+		if g.N() != tt.wantN {
+			t.Errorf("CompleteKAry(%d,%d).N() = %d, want %d", tt.k, tt.depth, g.N(), tt.wantN)
+		}
+		if g.MaxDegree() != tt.wantMaxDeg {
+			t.Errorf("CompleteKAry(%d,%d).MaxDegree() = %d, want %d", tt.k, tt.depth, g.MaxDegree(), tt.wantMaxDeg)
+		}
+		if !g.IsTree() {
+			t.Errorf("CompleteKAry(%d,%d) not a tree", tt.k, tt.depth)
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 20 || !g.IsTree() {
+		t.Fatalf("Caterpillar(5,3): n=%d tree=%v", g.N(), g.IsTree())
+	}
+	if g.MaxDegree() != 5 { // interior spine vertex: 2 spine + 3 legs
+		t.Errorf("Caterpillar(5,3) Δ = %d, want 5", g.MaxDegree())
+	}
+}
+
+func TestRandomTreeProperties(t *testing.T) {
+	f := func(seed uint64, rawN uint16, rawD uint8) bool {
+		n := int(rawN%500) + 1
+		maxDeg := int(rawD%8) + 2
+		g := RandomTree(n, maxDeg, rng.New(seed))
+		return g.N() == n && g.IsTree() && g.MaxDegree() <= maxDeg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeUsesDegreeBudget(t *testing.T) {
+	// With maxDeg=3 and enough vertices, some vertex should actually reach
+	// degree 3, otherwise the generator is too timid to exercise Δ palettes.
+	g := RandomTree(200, 3, rng.New(5))
+	if g.MaxDegree() != 3 {
+		t.Errorf("RandomTree(200,3) max degree = %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestUniformTreeProperties(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN%300) + 1
+		g := UniformTree(n, rng.New(seed))
+		return g.N() == n && g.IsTree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformTreeDistribution(t *testing.T) {
+	// There are 3 labeled trees on 3 vertices (the three choices of the
+	// middle vertex). Each should appear about 1/3 of the time.
+	counts := map[int]int{}
+	r := rng.New(77)
+	const draws = 3000
+	for i := 0; i < draws; i++ {
+		g := UniformTree(3, r)
+		for v := 0; v < 3; v++ {
+			if g.Degree(v) == 2 {
+				counts[v]++
+			}
+		}
+	}
+	for v := 0; v < 3; v++ {
+		if counts[v] < draws/3-200 || counts[v] > draws/3+200 {
+			t.Errorf("middle vertex %d occurred %d/%d times, want about 1/3", v, counts[v], draws)
+		}
+	}
+}
+
+func TestRandomRegularBipartite(t *testing.T) {
+	r := rng.New(9)
+	for _, tc := range []struct{ half, d int }{{4, 3}, {16, 3}, {32, 5}, {10, 2}} {
+		g := RandomRegularBipartite(tc.half, tc.d, r)
+		if g.N() != 2*tc.half || g.M() != tc.d*tc.half {
+			t.Fatalf("half=%d d=%d: n=%d m=%d", tc.half, tc.d, g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("vertex %d degree = %d, want %d", v, g.Degree(v), tc.d)
+			}
+		}
+		if err := g.VerifyEdgeColoring(); err != nil {
+			t.Fatalf("edge coloring invalid: %v", err)
+		}
+		// Bipartite: all edges cross the parts.
+		for _, e := range g.Edges() {
+			if (e[0] < tc.half) == (e[1] < tc.half) {
+				t.Fatalf("edge %v does not cross parts", e)
+			}
+		}
+	}
+}
+
+func TestVerifyEdgeColoringCatchesMutations(t *testing.T) {
+	g := RandomRegularBipartite(8, 3, rng.New(4))
+	// Corrupt: give two edges at vertex 0 the same color.
+	ports := g.Ports(0)
+	g.Colors[ports[0].Edge] = g.Colors[ports[1].Edge]
+	if err := g.VerifyEdgeColoring(); err == nil {
+		t.Error("verifier accepted an improper edge coloring")
+	}
+	g2 := RandomRegularBipartite(8, 3, rng.New(4))
+	g2.Colors[0] = 99
+	if err := g2.VerifyEdgeColoring(); err == nil {
+		t.Error("verifier accepted an out-of-palette color")
+	}
+}
+
+func TestHighGirthRegular(t *testing.T) {
+	r := rng.New(21)
+	g, err := HighGirthRegular(64, 3, 6, 200, r)
+	if err != nil {
+		t.Fatalf("HighGirthRegular: %v", err)
+	}
+	if girth := g.Girth(0); girth != -1 && girth < 6 {
+		t.Errorf("certified graph has girth %d < 6", girth)
+	}
+}
+
+func TestHighGirthRegularInfeasible(t *testing.T) {
+	// Girth 1000 on a tiny graph is impossible: must return an error, not hang.
+	_, err := HighGirthRegular(4, 3, 1000, 5, rng.New(1))
+	if err == nil {
+		t.Error("expected error for infeasible girth request")
+	}
+}
+
+func TestRandomBoundedDegree(t *testing.T) {
+	g := RandomBoundedDegree(100, 150, 5, rng.New(31))
+	if g.N() != 100 || g.M() != 150 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() > 5 {
+		t.Errorf("max degree %d exceeds bound 5", g.MaxDegree())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 3)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("Grid(4,3): n=%d m=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() != 4 && g.N() > 9 {
+		t.Errorf("Grid(4,3) Δ = %d, want 4", g.MaxDegree())
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g := Star(5)
+	ds := g.DegreeSequence()
+	want := []int{4, 1, 1, 1, 1}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("DegreeSequence = %v, want %v", ds, want)
+		}
+	}
+}

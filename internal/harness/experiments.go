@@ -1,0 +1,606 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"locality/internal/core"
+	"locality/internal/derand"
+	"locality/internal/forest"
+	"locality/internal/graph"
+	"locality/internal/ids"
+	"locality/internal/lcl"
+	"locality/internal/linial"
+	"locality/internal/matching"
+	"locality/internal/mathx"
+	"locality/internal/mis"
+	"locality/internal/nbrgraph"
+	"locality/internal/ringcolor"
+	"locality/internal/rng"
+	"locality/internal/shatter"
+	"locality/internal/sim"
+	"locality/internal/sinkless"
+	"locality/internal/speedup"
+)
+
+// All runs every experiment and returns the tables in order.
+func All(cfg Config) []*Table {
+	return []*Table{
+		E1Separation(cfg),
+		E2DeltaScaling(cfg),
+		E3Shattering(cfg),
+		E4ZeroRound(cfg),
+		E5RandFromDet(cfg),
+		E6Speedup(cfg),
+		E7Dichotomy(cfg),
+		E8Derandomization(cfg),
+		E9Linial(cfg),
+		E10MISMatching(cfg),
+		E11Sinkless(cfg),
+	}
+}
+
+// ByID returns the experiment driver with the given id (E1..E11).
+func ByID(id string) (func(Config) *Table, bool) {
+	m := map[string]func(Config) *Table{
+		"E1": E1Separation, "E2": E2DeltaScaling, "E3": E3Shattering,
+		"E4": E4ZeroRound, "E5": E5RandFromDet, "E6": E6Speedup,
+		"E7": E7Dichotomy, "E8": E8Derandomization, "E9": E9Linial,
+		"E10": E10MISMatching, "E11": E11Sinkless,
+	}
+	f, ok := m[strings.ToUpper(id)]
+	return f, ok
+}
+
+// checkColoring returns "yes" when the labeling is a proper q-coloring.
+func checkColoring(g *graph.Graph, q int, colors []int) string {
+	if err := lcl.Coloring(q).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+		return "NO"
+	}
+	return "yes"
+}
+
+// E1Separation is the headline (Section I, result 1): Δ-coloring trees is
+// O(log_Δ log n + log* n) in RandLOCAL vs Θ(log_Δ n) in DetLOCAL — rounds
+// of the Theorem 11 machine vs the Theorem 9 baseline across an n sweep.
+func E1Separation(cfg Config) *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "randomized vs deterministic Δ-coloring of trees",
+		Claim: "RandLOCAL O(log_Δ log n + log* n) vs DetLOCAL Θ(log_Δ n): the deterministic " +
+			"round count grows by a constant per doubling of n, the randomized one is nearly flat",
+		Columns: []string{"n", "Δ", "rand rounds", "rand ok", "det rounds", "det ok"},
+	}
+	delta := 8
+	sizes := cfg.sizes([]int{256, 1024, 4096}, []int{1024, 4096, 16384, 65536})
+	if !cfg.Quick {
+		delta = 55
+	}
+	r := rng.New(cfg.Seed + 1)
+	var firstRand, lastRand, firstDet, lastDet int
+	for i, n := range sizes {
+		g := graph.RandomTree(n, delta, r)
+		randRes, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n), MaxRounds: 1 << 22},
+			core.NewT11Factory(core.T11Options{Delta: delta}))
+		if err != nil {
+			panic(fmt.Sprintf("harness: E1 rand run: %v", err))
+		}
+		randColors := core.Colors(randRes.Outputs)
+		detRes, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
+			forest.NewFactory(forest.Options{Q: delta}))
+		if err != nil {
+			panic(fmt.Sprintf("harness: E1 det run: %v", err))
+		}
+		detColors := sim.IntOutputs(detRes)
+		t.AddRow(n, delta, randRes.Rounds, checkColoring(g, delta, randColors),
+			detRes.Rounds, checkColoring(g, delta, detColors))
+		if i == 0 {
+			firstRand, firstDet = randRes.Rounds, detRes.Rounds
+		}
+		lastRand, lastDet = randRes.Rounds, detRes.Rounds
+	}
+	doublings := mathx.CeilLog2(sizes[len(sizes)-1]) - mathx.CeilLog2(sizes[0])
+	t.Note("growth across %d doublings of n: det %+d rounds, rand %+d rounds — "+
+		"the separation is in the slopes (det ~ log n, rand ~ log log n)",
+		doublings, lastDet-firstDet, lastRand-firstRand)
+	t.Note("absolute rounds favor the deterministic algorithm at simulable n: the paper's " +
+		"randomized algorithms pay Θ(Δ²)-round constants (Phase 1 runs Δ-3 seeded-MIS sweeps); " +
+		"the exponential gap is asymptotic in n, which the slopes show")
+	return t
+}
+
+// E2DeltaScaling: both complexities scale inversely with log Δ (Theorems 5,
+// 10, 11). The Theorem 10 machine's log_√Δ(log n) Phase 2 shows the
+// randomized side.
+func E2DeltaScaling(cfg Config) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "round counts vs Δ at fixed n",
+		Claim: "rand Δ-coloring costs O(log* Δ + log_Δ log n) via ColorBidding (Theorem 10): " +
+			"the shattered-phase rounds shrink as Δ grows",
+		Columns: []string{"Δ", "n", "T10 rounds", "ok", "phase2 plan rounds", "bidding iters"},
+	}
+	n := 1024
+	if !cfg.Quick {
+		n = 8192
+	}
+	r := rng.New(cfg.Seed + 2)
+	for _, delta := range []int{16, 36, 64, 100} {
+		g := graph.RandomTree(n, delta, r)
+		opt := core.T10Options{Delta: delta}
+		res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(delta), MaxRounds: 1 << 22},
+			core.NewT10Factory(opt))
+		if err != nil {
+			panic(fmt.Sprintf("harness: E2 run: %v", err))
+		}
+		colors := core.Colors(res.Outputs)
+		reserve := 0
+		for reserve*reserve < delta {
+			reserve++
+		}
+		fplan := forest.NewPlan(forest.Options{
+			Q: reserve, SizeBound: mathx.Max(32, 8*mathx.CeilLog2(n+1)), IDSpace: 1 << 40,
+		}.Resolve(n))
+		t.AddRow(delta, n, res.Rounds, checkColoring(g, delta, colors),
+			fplan.Rounds(), len(core.CSequence(delta)))
+	}
+	t.Note("the Phase-2 (shattered components) plan uses palette √Δ, so its peeling base grows " +
+		"with Δ and its round count shrinks — the log_Δ log n scaling of the claim")
+	return t
+}
+
+// E3Shattering: the bad components Phase 2 inherits are O(log n)-sized whp
+// (Theorem 10 analysis, Theorem 11 Phase 2).
+func E3Shattering(cfg Config) *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "graph shattering: bad-component sizes",
+		Claim: "after the randomized phase, the uncolored (bad / S) vertices form connected " +
+			"components of size O(log n) with high probability",
+		Columns: []string{"algo", "n", "Δ", "marked", "components", "max comp", "bound 8·log2 n"},
+	}
+	r := rng.New(cfg.Seed + 3)
+	sizes := cfg.sizes([]int{512, 2048}, []int{2048, 8192, 32768})
+	seeds := cfg.trials(3, 8)
+	for _, n := range sizes {
+		bound := 8 * mathx.CeilLog2(n+1)
+		// Theorem 10 bad set on a complete 35-ary tree (interior degree
+		// Î=36), aggregated over seeds. With the default filtering the
+		// bad set is typically empty (shattering at its strongest); the
+		// "slack=2" row tightens Filtering(1) to |Ψ|-|N'| < Δ/2 to show a
+		// non-trivial shattered set that still obeys the bound.
+		g := completeTreeOfSize(35, n)
+		for _, slack := range []int{8, 2} {
+			totalBad, maxComp, comps := 0, 0, 0
+			for s := 0; s < seeds; s++ {
+				res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+s), MaxRounds: 1 << 22},
+					core.NewT10Factory(core.T10Options{Delta: 36, PaletteSlack: slack}))
+				if err != nil {
+					panic(fmt.Sprintf("harness: E3 T10 run: %v", err))
+				}
+				bad := make([]bool, g.N())
+				for v, o := range res.Outputs {
+					bad[v] = o.(core.T10Result).Bad
+				}
+				c := shatter.Analyze(g, bad)
+				totalBad += c.Total
+				comps += c.Count
+				if c.Max > maxComp {
+					maxComp = c.Max
+				}
+			}
+			t.AddRow(fmt.Sprintf("T10 bad (slack=%d)", slack), g.N(), 36, totalBad, comps, maxComp, bound)
+		}
+		// Theorem 11 S set (Δ=4 keeps Phase 1 contended enough for a
+		// non-empty S), aggregated over seeds.
+		g2 := graph.RandomTree(n, 4, r)
+		totalS, maxS, compS := 0, 0, 0
+		for s := 0; s < seeds; s++ {
+			res2, err := sim.Run(g2, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+7*s) + 7, MaxRounds: 1 << 22},
+				core.NewT11Factory(core.T11Options{Delta: 4}))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E3 T11 run: %v", err))
+			}
+			inS := make([]bool, n)
+			for v, o := range res2.Outputs {
+				inS[v] = o.(core.T11Result).InS
+			}
+			c2 := shatter.Analyze(g2, inS)
+			totalS += c2.Total
+			compS += c2.Count
+			if c2.Max > maxS {
+				maxS = c2.Max
+			}
+		}
+		t.AddRow("T11 S", n, 4, totalS, compS, maxS, bound)
+	}
+	t.Note("counts are aggregated over %d seeds; 'max comp' is the largest component ever "+
+		"observed and should stay below the bound column for the default-filtering rows", seeds)
+	t.Note("Lemma 3 turns per-vertex failure exp(-poly Δ) into the whp bound via distance-5 " +
+		"set counting: 4^t·n·Δ^(k(t-1)) sets of size t, each all-bad with prob exp(-t·poly Δ)")
+	return t
+}
+
+// E4ZeroRound: the Theorem 4 base case — every 0-round sinkless-coloring
+// strategy fails on some edge with probability >= 1/Δ².
+func E4ZeroRound(cfg Config) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "0-round sinkless coloring: failure floor 1/Δ²",
+		Claim: "any 0-round strategy is a color distribution; its worst edge fails with " +
+			"probability max_c p(c)² >= 1/Δ², with equality exactly at uniform (Theorem 4 base case)",
+		Columns: []string{"Δ", "minimax (grid)", "1/Δ²", "empirical uniform", "trials×edges"},
+	}
+	r := rng.New(cfg.Seed + 4)
+	trials := cfg.trials(100, 400)
+	for _, delta := range []int{3, 4, 5, 6} {
+		val, _ := sinkless.ZeroRoundMinimax(delta, 4*delta)
+		ecg := graph.RandomRegularBipartite(12, delta, r)
+		inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: delta}
+		inputs := inst.NodeInputs()
+		edges := ecg.Edges()
+		violations := 0
+		for i := 0; i < trials; i++ {
+			res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs},
+				sinkless.NewZeroRoundFactory(sinkless.Uniform(delta)))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E4 run: %v", err))
+			}
+			colors := sim.IntOutputs(res)
+			for e, uv := range edges {
+				if colors[uv[0]] == ecg.Colors[e] && colors[uv[1]] == ecg.Colors[e] {
+					violations++
+				}
+			}
+		}
+		emp := float64(violations) / float64(trials*len(edges))
+		t.AddRow(delta, val, sinkless.ZeroRoundLowerBound(delta), emp,
+			fmt.Sprintf("%d×%d", trials, len(edges)))
+	}
+	return t
+}
+
+// E5RandFromDet: the Theorem 5 construction — random b-bit IDs plus one
+// power-graph Linial step simulate a DetLOCAL algorithm, failing with
+// probability < n²/2^b.
+func E5RandFromDet(cfg Config) *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "Theorem 5: RandLOCAL from DetLOCAL via random IDs",
+		Claim: "failure rate of the randomized simulation is bounded by the ID collision " +
+			"probability < n²/2^b",
+		Columns: []string{"name bits", "n", "fails", "trials", "rate", "bound n²/2^b"},
+	}
+	n := 48
+	trials := cfg.trials(8, 40)
+	r := rng.New(cfg.Seed + 5)
+	g := graph.RandomTree(n, 3, r)
+	for _, bits := range []int{4, 8, 12, 16} {
+		palette := speedup.Theorem5Palette(bits, n)
+		fopt := forest.Options{Q: 3, SizeBound: n, IDSpace: palette}
+		tDet := forest.NewPlan(fopt.Resolve(n)).Rounds()
+		factory := speedup.NewTheorem5Factory(tDet, bits, n, g.MaxDegree(), forest.NewFactory(fopt))
+		fails := 0
+		for i := 0; i < trials; i++ {
+			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22}, factory)
+			if err != nil {
+				panic(fmt.Sprintf("harness: E5 run: %v", err))
+			}
+			colors := sim.IntOutputs(res)
+			if lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)) != nil {
+				fails++
+			}
+		}
+		t.AddRow(bits, n, fails, trials, float64(fails)/float64(trials),
+			ids.CollisionProbabilityBound(n, bits))
+	}
+	t.Note("the deterministic inner algorithm is the Theorem 9 tree 3-coloring; its round " +
+		"bound t fixes the collection radius 2t+1, and total rounds are 3t+1 = O(t) as the theorem states")
+	return t
+}
+
+// E6Speedup: the Theorem 6 transform — measured correctness plus the
+// ℓ-(in)dependence of the transformed round count.
+func E6Speedup(cfg Config) *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "Theorem 6 speedup transform",
+		Claim: "any f(Δ)+ε·log_Δ n algorithm can be rerun with power-graph Linial IDs in " +
+			"O((1+f(Δ))·log* n) rounds; the transformed count is n-independent",
+		Columns: []string{"n", "ℓ", "slow rounds", "transformed", "ℓ'", "ok"},
+	}
+	delta := 4
+	mk := speedup.NewSlowColoringFactory(delta, 1, 8) // ε = 1/8
+	tBound := speedup.SlowColoringRounds(delta, 1, 8)
+	r := rng.New(cfg.Seed + 6)
+	sizes := cfg.sizes([]int{64, 256}, []int{64, 256, 1024})
+	for _, n := range sizes {
+		g := graph.RandomTree(n, delta, r)
+		bits := mathx.CeilLog2(n + 1)
+		plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
+		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
+			speedup.NewTheorem6Factory(plan, bits, mk(plan.BitsOut)))
+		if err != nil {
+			panic(fmt.Sprintf("harness: E6 run: %v", err))
+		}
+		colors := sim.IntOutputs(res)
+		t.AddRow(n, bits, tBound(delta, bits), res.Rounds, plan.BitsOut,
+			checkColoring(g, delta+1, colors))
+	}
+	// Plan-level ℓ sweep (no simulation needed): the compression regime.
+	tb2 := speedup.SlowColoringRounds(delta, 1, 2)
+	var flat []string
+	for _, bits := range []int{56, 58, 60, 62} {
+		plan := speedup.NewTheorem6Plan(tb2, delta, bits, 1)
+		flat = append(flat, fmt.Sprintf("ℓ=%d→(slow %d, trans %d, ℓ'=%d)",
+			bits, tb2(delta, bits), plan.R+plan.InnerT, plan.BitsOut))
+	}
+	t.Note("plan-level sweep at ε=1/2: %s — ℓ' and the transformed rounds are flat in ℓ "+
+		"while the slow rounds keep growing; the absolute crossover lies beyond ℓ=62 because "+
+		"the construction's constants (ℓ' ≈ 2D·log Δ with D ≈ 2·runtime) are the paper's",
+		strings.Join(flat, "; "))
+	return t
+}
+
+// E7Dichotomy: Theorem 7 — on rings (Δ=2) every LCL is either O(log* n) or
+// Ω(n); measured on 2- vs 3-coloring, and proved mechanically for small ID
+// spaces by the neighborhood-graph engine.
+func E7Dichotomy(cfg Config) *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "the Δ=2 dichotomy on rings",
+		Claim: "2-coloring takes Θ(n) rounds while 3-coloring takes O(log* n); " +
+			"no t-round 2-coloring algorithm exists for any checkable t (neighborhood graphs)",
+		Columns: []string{"n", "2-color rounds", "3-color rounds (CV)", "ok both"},
+	}
+	r := rng.New(cfg.Seed + 7)
+	sizes := cfg.sizes([]int{16, 64, 256}, []int{16, 64, 256, 1024, 4096})
+	for _, n := range sizes {
+		g := graph.Ring(n)
+		res2, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)}, ringcolor.NewTwoColorFactory())
+		if err != nil {
+			panic(fmt.Sprintf("harness: E7 2-color: %v", err))
+		}
+		inputs, err := ringcolor.RingOrientation(g)
+		if err != nil {
+			panic(err)
+		}
+		bits := mathx.CeilLog2(n + 1)
+		res3, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), Inputs: inputs},
+			ringcolor.NewColeVishkinFactory(bits))
+		if err != nil {
+			panic(fmt.Sprintf("harness: E7 3-color: %v", err))
+		}
+		ok := "yes"
+		if checkColoring(g, 2, sim.IntOutputs(res2)) != "yes" || checkColoring(g, 3, sim.IntOutputs(res3)) != "yes" {
+			ok = "NO"
+		}
+		t.AddRow(n, res2.Rounds, res3.Rounds, ok)
+	}
+	for _, tc := range []struct{ t, m, k int }{{0, 4, 2}, {1, 5, 2}, {0, 3, 3}, {0, 4, 3}, {1, 5, 3}} {
+		res := nbrgraph.AlgorithmExists(tc.t, tc.m, tc.k, 1<<24)
+		verdict := "UNDECIDED"
+		if res.Decided {
+			if res.Colorable {
+				verdict = "exists"
+			} else {
+				verdict = "IMPOSSIBLE (proved)"
+			}
+		}
+		t.Note("neighborhood graph B_%d(%d): %d-round %d-coloring algorithm: %s (%d search nodes)",
+			tc.t, tc.m, tc.t, tc.k, verdict, res.Nodes)
+	}
+	return t
+}
+
+// E8Derandomization: Theorem 3 executed exhaustively on tiny instances.
+func E8Derandomization(cfg Config) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "Theorem 3: exhaustive derandomization",
+		Claim: "a bit-fixing function φ exists with A_Det[φ] correct on every member of " +
+			"G_{n,Δ}; the fraction of bad φ is at most the summed failure probabilities (union bound)",
+		Columns: []string{"bits", "n", "Δ", "|G_{n,Δ}|", "φ space", "bad φ", "union bound Σp", "φ* found"},
+	}
+	type setting struct{ bits, n, delta, idSpace int }
+	settings := []setting{{1, 2, 1, 2}, {2, 2, 1, 2}, {2, 3, 2, 3}}
+	for _, s := range settings {
+		alg := derand.PriorityMIS(s.bits)
+		instances := derand.EnumerateInstances(s.n, s.delta, s.idSpace)
+		res := derand.SearchPhi(alg, instances, s.idSpace, 1<<22)
+		var unionBound float64
+		for _, inst := range instances {
+			unionBound += derand.ExactFailure(alg, inst)
+		}
+		phiStr := "none"
+		if res.Found != nil {
+			parts := make([]string, 0, s.idSpace)
+			for id := 1; id <= s.idSpace; id++ {
+				parts = append(parts, fmt.Sprint(res.Found[id]))
+			}
+			phiStr = "(" + strings.Join(parts, ",") + ")"
+		}
+		space := fmt.Sprintf("%d", res.Tried)
+		t.AddRow(s.bits, s.n, s.delta, len(instances), space,
+			fmt.Sprintf("%d", res.BadCount), unionBound, phiStr)
+	}
+	t.Note("A_Rand is greedy MIS by random priority; its only failure mode is a blocking " +
+		"adjacent tie. Every reported φ* was re-verified to err on ZERO instances.")
+	return t
+}
+
+// E9Linial: Theorems 1–2 — palette trajectory and O(log* n) rounds.
+func E9Linial(cfg Config) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "Linial's coloring: palette trajectory and log* rounds",
+		Claim: "one round reduces a k-coloring to O(Δ² log k)-ish colors; iterating reaches " +
+			"β·Δ² in O(log* n) rounds",
+		Columns: []string{"n", "Δ", "rounds", "fixed point", "trajectory"},
+	}
+	delta := 4
+	r := rng.New(cfg.Seed + 9)
+	sizes := cfg.sizes([]int{256, 4096}, []int{256, 4096, 65536, 1 << 20})
+	for _, n := range sizes {
+		sched := linial.Schedule(n, delta)
+		parts := []string{fmt.Sprint(n)}
+		for _, f := range sched {
+			parts = append(parts, fmt.Sprint(f.PaletteSize()))
+		}
+		// Measured run at simulable sizes.
+		rounds := len(sched)
+		ok := ""
+		if n <= 65536 {
+			g := graph.RandomTree(n, delta, r)
+			res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)},
+				linial.NewFactory(linial.Options{InitialPalette: n, Delta: delta}))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E9 run: %v", err))
+			}
+			rounds = res.Rounds
+			ok = checkColoring(g, linial.FixedPoint(n, delta), sim.IntOutputs(res))
+			if ok != "yes" {
+				panic("harness: E9 produced an improper coloring")
+			}
+		}
+		t.AddRow(n, delta, rounds, linial.FixedPoint(n, delta), strings.Join(parts, "→"))
+	}
+	t.Note("log*(2^20)=4-ish: the round column grows by at most one per squaring of n")
+	return t
+}
+
+// E10MISMatching: the Section I survey pair — randomized vs deterministic
+// MIS and maximal matching.
+func E10MISMatching(cfg Config) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "MIS and maximal matching: randomized vs deterministic",
+		Claim: "randomized symmetry breaking is exponentially faster in Δ; deterministic " +
+			"algorithms pay Linial's log* n plus poly(Δ) (the [9],[12],[13] bounds the paper cites)",
+		Columns: []string{"n", "Δ", "Luby MIS", "det MIS", "rand match", "det match", "all valid"},
+	}
+	r := rng.New(cfg.Seed + 10)
+	sizes := cfg.sizes([]int{256, 1024}, []int{1024, 4096, 16384})
+	for _, n := range sizes {
+		g := graph.RandomBoundedDegree(n, 2*n, 8, r)
+		valid := true
+		luby, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n)},
+			mis.NewLubyFactory(mis.LubyOptions{}))
+		if err != nil {
+			panic(err)
+		}
+		det, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
+			mis.NewDetFactory(mis.DetOptions{}))
+		if err != nil {
+			panic(err)
+		}
+		rmatch, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n) + 1},
+			matching.NewRandFactory(matching.RandOptions{}))
+		if err != nil {
+			panic(err)
+		}
+		dmatch, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
+			matching.NewDetFactory(matching.DetOptions{}))
+		if err != nil {
+			panic(err)
+		}
+		valid = valid && validMIS(g, luby) && validMIS(g, det)
+		valid = valid && validMatch(g, rmatch) && validMatch(g, dmatch)
+		okStr := "yes"
+		if !valid {
+			okStr = "NO"
+		}
+		t.AddRow(n, g.MaxDegree(), luby.Rounds, det.Rounds, rmatch.Rounds, dmatch.Rounds, okStr)
+	}
+	return t
+}
+
+func validMIS(g *graph.Graph, res *sim.Result) bool {
+	labels := make([]any, len(res.Outputs))
+	copy(labels, res.Outputs)
+	return lcl.MIS().Validate(lcl.Instance{G: g}, labels) == nil
+}
+
+func validMatch(g *graph.Graph, res *sim.Result) bool {
+	labels := make([]lcl.MatchLabel, len(res.Outputs))
+	for v, o := range res.Outputs {
+		labels[v] = o.(lcl.MatchLabel)
+	}
+	return lcl.ValidateMatching(lcl.Instance{G: g}, labels) == nil
+}
+
+// E11Sinkless: the Brandt et al. problems — randomized sinkless orientation
+// convergence and the Lemma 1/2 reductions in action.
+func E11Sinkless(cfg Config) *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: "sinkless orientation and the Lemma 1–2 reductions",
+		Claim: "sinkless orientation solves fast in RandLOCAL on Δ-regular edge-colored " +
+			"graphs, and the coloring↔orientation reductions preserve validity with the " +
+			"failure correspondences of Lemmas 1 and 2",
+		Columns: []string{"n", "Δ", "orient ok", "last sink step", "color-from-orient ok", "orient-from-color ok"},
+	}
+	r := rng.New(cfg.Seed + 11)
+	halves := cfg.sizes([]int{32, 128}, []int{32, 128, 512, 2048})
+	for _, half := range halves {
+		d := 3
+		ecg := graph.RandomRegularBipartite(half, d, r)
+		inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: d}
+		inputs := inst.NodeInputs()
+		res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half), Inputs: inputs},
+			sinkless.NewOrientFactory(sinkless.OrientOptions{}))
+		if err != nil {
+			panic(err)
+		}
+		orientOK := "yes"
+		if lcl.ValidateOrientation(inst, sinkless.OrientLabels(res.Outputs)) != nil {
+			orientOK = "NO"
+		}
+		worst := 0
+		for _, s := range sinkless.LastSinkSteps(res.Outputs) {
+			if s > worst {
+				worst = s
+			}
+		}
+		cRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 3, Inputs: inputs},
+			sinkless.NewColoringFromOrientationFactory(sinkless.NewOrientFactory(sinkless.OrientOptions{})))
+		if err != nil {
+			panic(err)
+		}
+		colorOK := "yes"
+		if lcl.SinklessColoring(d).Validate(inst, lcl.IntLabels(sim.IntOutputs(cRes))) != nil {
+			colorOK = "NO"
+		}
+		oRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 5, Inputs: inputs},
+			sinkless.NewOrientFromColoringFactory(sinkless.NewColoringFromOrientationFactory(
+				sinkless.NewOrientFactory(sinkless.OrientOptions{}))))
+		if err != nil {
+			panic(err)
+		}
+		ofcOK := "yes"
+		labels := make([]lcl.OrientationLabel, len(oRes.Outputs))
+		for v, o := range oRes.Outputs {
+			labels[v] = o.(lcl.OrientationLabel)
+		}
+		if lcl.ValidateOrientation(inst, labels) != nil {
+			ofcOK = "NO"
+		}
+		t.AddRow(ecg.N(), d, orientOK, worst, colorOK, ofcOK)
+	}
+	t.Note("'last sink step' is when the final sink token died — far inside the O(log n) budget, " +
+		"the RandLOCAL upper-bound side that Theorem 4 shows cannot drop below Ω(log_Δ log n)")
+	return t
+}
+
+// completeTreeOfSize builds a complete k-ary tree with at least n vertices
+// (the smallest depth that reaches n).
+func completeTreeOfSize(k, n int) *graph.Graph {
+	depth := 1
+	for {
+		g := graph.CompleteKAry(k, depth)
+		if g.N() >= n || depth > 12 {
+			return g
+		}
+		depth++
+	}
+}

@@ -1,0 +1,76 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"locality/internal/harness"
+)
+
+// TestAllExperimentsQuick runs the full experiment suite in quick mode and
+// checks every table renders, has rows, and reports no validity failures.
+func TestAllExperimentsQuick(t *testing.T) {
+	tables := harness.All(harness.Config{Quick: true, Seed: 12345})
+	if len(tables) != 11 {
+		t.Fatalf("got %d tables, want 11", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", tbl.ID)
+		}
+		var buf bytes.Buffer
+		tbl.Render(&buf)
+		out := buf.String()
+		if !strings.Contains(out, tbl.ID) {
+			t.Errorf("%s: render missing ID", tbl.ID)
+		}
+		if strings.Contains(out, " NO ") || strings.Contains(out, " NO\n") {
+			t.Errorf("%s: validity failure in table:\n%s", tbl.ID, out)
+		}
+		var csv, md bytes.Buffer
+		tbl.CSV(&csv)
+		tbl.Markdown(&md)
+		if csv.Len() == 0 || md.Len() == 0 {
+			t.Errorf("%s: empty CSV/Markdown", tbl.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := harness.ByID("e4"); !ok {
+		t.Error("lowercase id not found")
+	}
+	if _, ok := harness.ByID("E99"); ok {
+		t.Error("nonexistent id found")
+	}
+}
+
+// TestSupplementaryExperimentsQuick runs E12 and the ablations A1-A3.
+func TestSupplementaryExperimentsQuick(t *testing.T) {
+	tables := harness.AllSupplementary(harness.Config{Quick: true, Seed: 9})
+	if len(tables) != 4 {
+		t.Fatalf("got %d supplementary tables, want 4", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", tbl.ID)
+		}
+		var buf bytes.Buffer
+		tbl.Render(&buf)
+		// A3 deliberately contains one failing row (the undersized bound);
+		// E12/A1/A2 must be all-clean.
+		if tbl.ID != "A3" && strings.Contains(buf.String(), " NO") {
+			t.Errorf("%s: validity failure:\n%s", tbl.ID, buf.String())
+		}
+	}
+}
+
+func TestByIDSupplementary(t *testing.T) {
+	if _, ok := harness.ByIDSupplementary("A1"); !ok {
+		t.Error("A1 not found")
+	}
+	if _, ok := harness.ByIDSupplementary("E1"); ok {
+		t.Error("E1 should not be in the supplementary registry")
+	}
+}

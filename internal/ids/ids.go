@@ -1,0 +1,147 @@
+// Package ids provides the vertex-identifier schemes of the DetLOCAL model
+// and the randomized ID generation used by the Theorem 5 reduction.
+//
+// In DetLOCAL every vertex holds a unique Θ(log n)-bit ID; nothing else
+// differentiates vertices. The adversary controls the assignment, so
+// experiments run deterministic algorithms under several schemes (sequential,
+// shuffled, adversarial spreads) to make sure measured round counts are not
+// artifacts of friendly IDs. The Theorem 5 construction instead draws
+// *random* b-bit IDs and pays a collision probability < n²/2^b, which package
+// derand and experiment E5 measure against that bound.
+package ids
+
+import (
+	"fmt"
+
+	"locality/internal/rng"
+)
+
+// Assignment is a vertex-indexed ID table. IDs are uint64; the bit-length
+// budget of a scheme is part of its contract, not of the type.
+type Assignment []uint64
+
+// Unique reports whether all IDs are pairwise distinct.
+func (a Assignment) Unique() bool {
+	seen := make(map[uint64]struct{}, len(a))
+	for _, id := range a {
+		if _, dup := seen[id]; dup {
+			return false
+		}
+		seen[id] = struct{}{}
+	}
+	return true
+}
+
+// MaxBits returns the number of bits needed to write the largest ID.
+func (a Assignment) MaxBits() int {
+	bitsNeeded := 1
+	for _, id := range a {
+		n := 0
+		for v := id; v > 0; v >>= 1 {
+			n++
+		}
+		if n > bitsNeeded {
+			bitsNeeded = n
+		}
+	}
+	return bitsNeeded
+}
+
+// Sequential assigns vertex v the ID v+1. The friendliest possible scheme;
+// useful as a readable baseline in examples.
+func Sequential(n int) Assignment {
+	a := make(Assignment, n)
+	for v := range a {
+		a[v] = uint64(v + 1)
+	}
+	return a
+}
+
+// Shuffled assigns a random permutation of 1..n. This is the default for
+// experiments: unique Θ(log n)-bit IDs with no helpful structure.
+func Shuffled(n int, r *rng.Source) Assignment {
+	p := r.Perm(n)
+	a := make(Assignment, n)
+	for v := range a {
+		a[v] = uint64(p[v] + 1)
+	}
+	return a
+}
+
+// SparseRandom draws n distinct uniform IDs from [1, 2^bits]. It errors if
+// the space is too small to make distinctness likely within the retry budget
+// (callers wanting collisions should use RandomBits instead).
+func SparseRandom(n, bits int, r *rng.Source) (Assignment, error) {
+	if bits < 1 || bits > 63 {
+		return nil, fmt.Errorf("ids: SparseRandom bits=%d out of [1,63]", bits)
+	}
+	space := uint64(1) << bits
+	if uint64(n) > space {
+		return nil, fmt.Errorf("ids: cannot draw %d distinct IDs from 2^%d values", n, bits)
+	}
+	a := make(Assignment, n)
+	seen := make(map[uint64]struct{}, n)
+	for v := 0; v < n; v++ {
+		ok := false
+		for attempt := 0; attempt < 1000; attempt++ {
+			id := r.Uint64()%space + 1
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				a[v] = id
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("ids: ID space 2^%d too crowded for %d distinct IDs", bits, n)
+		}
+	}
+	return a, nil
+}
+
+// RandomBits draws n independent uniform b-bit IDs with NO distinctness
+// guarantee — exactly what the RandLOCAL nodes in the Theorem 5 reduction
+// do locally. Collisions happen with probability < n²/2^(b+1); experiment E5
+// measures this.
+func RandomBits(n, bits int, r *rng.Source) Assignment {
+	if bits < 1 || bits > 63 {
+		panic(fmt.Sprintf("ids: RandomBits bits=%d out of [1,63]", bits))
+	}
+	space := uint64(1) << bits
+	a := make(Assignment, n)
+	for v := range a {
+		a[v] = r.Uint64()%space + 1
+	}
+	return a
+}
+
+// AdversarialGaps assigns IDs 1, K, 2K-1, ... with huge gaps, stressing
+// algorithms that (incorrectly) assume IDs are dense in [1, n].
+func AdversarialGaps(n int, gap uint64) Assignment {
+	a := make(Assignment, n)
+	id := uint64(1)
+	for v := range a {
+		a[v] = id
+		id += gap
+	}
+	return a
+}
+
+// CollisionProbabilityBound returns the paper's union-bound estimate
+// n²/2^bits on the probability that n random bits-bit IDs collide
+// (Theorem 5 uses p < n²/2^n). Saturates at 1.
+func CollisionProbabilityBound(n, bits int) float64 {
+	p := float64(n) * float64(n) / pow2(bits)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func pow2(b int) float64 {
+	p := 1.0
+	for i := 0; i < b; i++ {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,137 @@
+package ids
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locality/internal/rng"
+)
+
+func TestSequential(t *testing.T) {
+	a := Sequential(5)
+	for v, id := range a {
+		if id != uint64(v+1) {
+			t.Errorf("Sequential[%d] = %d, want %d", v, id, v+1)
+		}
+	}
+	if !a.Unique() {
+		t.Error("Sequential IDs must be unique")
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%100) + 1
+		a := Shuffled(n, rng.New(seed))
+		if len(a) != n || !a.Unique() {
+			return false
+		}
+		for _, id := range a {
+			if id < 1 || id > uint64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseRandom(t *testing.T) {
+	a, err := SparseRandom(100, 32, rng.New(3))
+	if err != nil {
+		t.Fatalf("SparseRandom: %v", err)
+	}
+	if len(a) != 100 || !a.Unique() {
+		t.Error("SparseRandom produced malformed assignment")
+	}
+	if _, err := SparseRandom(10, 2, rng.New(3)); err == nil {
+		t.Error("SparseRandom should fail when 10 IDs cannot fit in 2 bits")
+	}
+	if _, err := SparseRandom(10, 0, rng.New(3)); err == nil {
+		t.Error("SparseRandom should reject bits=0")
+	}
+}
+
+func TestRandomBitsRange(t *testing.T) {
+	a := RandomBits(1000, 8, rng.New(7))
+	for _, id := range a {
+		if id < 1 || id > 256 {
+			t.Fatalf("RandomBits(8) produced %d outside [1,256]", id)
+		}
+	}
+}
+
+func TestRandomBitsCollisionRateMatchesBirthday(t *testing.T) {
+	// n=20 IDs from 10 bits: collision probability about
+	// 1-exp(-n(n-1)/2^(b+1)) ≈ 0.17; the paper's union bound n²/2^b = 0.39
+	// must be an upper bound on the observed rate.
+	r := rng.New(99)
+	const trials = 2000
+	collisions := 0
+	for i := 0; i < trials; i++ {
+		if !RandomBits(20, 10, r).Unique() {
+			collisions++
+		}
+	}
+	rate := float64(collisions) / trials
+	bound := CollisionProbabilityBound(20, 10)
+	if rate > bound {
+		t.Errorf("observed collision rate %.3f exceeds union bound %.3f", rate, bound)
+	}
+	exact := 1 - math.Exp(-20.0*19/2/1024)
+	if math.Abs(rate-exact) > 0.05 {
+		t.Errorf("observed collision rate %.3f far from birthday estimate %.3f", rate, exact)
+	}
+}
+
+func TestAdversarialGaps(t *testing.T) {
+	a := AdversarialGaps(4, 1000)
+	want := Assignment{1, 1001, 2001, 3001}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("AdversarialGaps = %v, want %v", a, want)
+		}
+	}
+	if !a.Unique() {
+		t.Error("AdversarialGaps must be unique")
+	}
+}
+
+func TestMaxBits(t *testing.T) {
+	tests := []struct {
+		a    Assignment
+		want int
+	}{
+		{Assignment{1}, 1},
+		{Assignment{1, 2, 3}, 2},
+		{Assignment{255}, 8},
+		{Assignment{256}, 9},
+		{Assignment{}, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.a.MaxBits(); got != tt.want {
+			t.Errorf("MaxBits(%v) = %d, want %d", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestUnique(t *testing.T) {
+	if !(Assignment{1, 2, 3}).Unique() {
+		t.Error("distinct IDs reported non-unique")
+	}
+	if (Assignment{1, 2, 1}).Unique() {
+		t.Error("duplicate IDs reported unique")
+	}
+}
+
+func TestCollisionProbabilityBoundSaturates(t *testing.T) {
+	if got := CollisionProbabilityBound(1000, 4); got != 1 {
+		t.Errorf("bound should saturate at 1, got %v", got)
+	}
+	if got := CollisionProbabilityBound(2, 10); math.Abs(got-4.0/1024) > 1e-12 {
+		t.Errorf("bound = %v, want %v", got, 4.0/1024)
+	}
+}

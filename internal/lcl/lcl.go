@@ -1,0 +1,237 @@
+// Package lcl formalizes the class of Locally Checkable Labeling problems
+// (Naor–Stockmeyer [7]) exactly as Section II of the paper defines them: an
+// LCL is a radius r, a finite label set Σ, and a set C of acceptable labeled
+// subgraphs; a labeling is a solution iff the labeled radius-r view of every
+// vertex is acceptable.
+//
+// Every symmetry-breaking problem the paper discusses is provided as a
+// Problem value: k-coloring, MIS, maximal matching, Δ-sinkless coloring and
+// Δ-sinkless orientation (the Brandt et al. problems behind Theorem 4).
+// All of them have radius 1, so the local check takes a vertex's own label,
+// environment, and its neighbors' labels by port.
+//
+// The same check function powers two verifiers:
+//
+//   - Validate: a centralized judge used by tests and experiments;
+//   - VerifierFactory: a 1-round distributed verifier running in the
+//     simulator, demonstrating that the problems really are locally
+//     checkable with the claimed radius.
+package lcl
+
+import (
+	"errors"
+	"fmt"
+
+	"locality/internal/graph"
+	"locality/internal/sim"
+)
+
+// Instance is a problem instance: a graph plus the optional input labeling
+// some LCLs require (the sinkless problems take a proper Δ-edge coloring).
+type Instance struct {
+	G *graph.Graph
+	// EdgeColors[e] is the input color of edge e (1-based); nil when the
+	// problem has no input labeling.
+	EdgeColors []int
+	// NumEdgeColors is the size of the edge-color palette.
+	NumEdgeColors int
+}
+
+// VertexInput is what instance inputs look like from one vertex: the colors
+// of its incident edges in port order. It is what the simulator passes as
+// Env.Input for problems with edge-colored instances.
+type VertexInput struct {
+	EdgeColors []int
+}
+
+// NodeInputs converts an instance's edge coloring into per-vertex simulator
+// inputs (nil if the instance has no input labeling).
+func (inst Instance) NodeInputs() []any {
+	if inst.EdgeColors == nil {
+		return nil
+	}
+	inputs := make([]any, inst.G.N())
+	for v := 0; v < inst.G.N(); v++ {
+		ports := inst.G.Ports(v)
+		in := VertexInput{EdgeColors: make([]int, len(ports))}
+		for p, h := range ports {
+			in.EdgeColors[p] = inst.EdgeColors[h.Edge]
+		}
+		inputs[v] = in
+	}
+	return inputs
+}
+
+// LocalView is the radius-1 labeled view a check inspects: the center's
+// degree, input and output label, and the neighbors' output labels in port
+// order.
+type LocalView struct {
+	Degree    int
+	Input     VertexInput // zero value when the problem has no input
+	Label     any
+	NbrLabels []any
+}
+
+// Problem is a locally checkable labeling problem with radius 1.
+type Problem struct {
+	// Name identifies the problem in reports.
+	Name string
+	// Radius is the checkability radius; all built-ins have radius 1.
+	Radius int
+	// Echo projects a vertex's label onto one of its ports: it is what the
+	// neighbor across that port gets to see. Plain-label problems
+	// (coloring, MIS) leave it nil (identity); problems whose labels encode
+	// per-edge decisions (matching, orientation) use it to expose exactly
+	// the decision about the shared edge, which is what makes the
+	// endpoint-consistency constraints radius-1 checkable.
+	Echo func(label any, port int) any
+	// Check returns nil iff the view is acceptable (the view is in C).
+	Check func(view LocalView) error
+}
+
+// echoAt applies Echo (or identity).
+func (p Problem) echoAt(label any, port int) any {
+	if p.Echo == nil {
+		return label
+	}
+	return p.Echo(label, port)
+}
+
+// Validate judges a complete output labeling centrally: it builds every
+// vertex's local view and applies the problem's check. out[v] is vertex v's
+// output label. A nil error means the labeling is a solution.
+func (p Problem) Validate(inst Instance, out []any) error {
+	g := inst.G
+	if len(out) != g.N() {
+		return fmt.Errorf("lcl: %d labels for %d vertices", len(out), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if err := p.Check(p.buildView(inst, out, v)); err != nil {
+			return fmt.Errorf("lcl: %s violated at vertex %d: %w", p.Name, v, err)
+		}
+	}
+	return nil
+}
+
+func (p Problem) buildView(inst Instance, out []any, v int) LocalView {
+	g := inst.G
+	ports := g.Ports(v)
+	view := LocalView{
+		Degree:    len(ports),
+		Label:     out[v],
+		NbrLabels: make([]any, len(ports)),
+	}
+	for q, h := range ports {
+		// What the neighbor shows across the shared edge: its label echoed
+		// through its own port for this edge (h.Rev).
+		view.NbrLabels[q] = p.echoAt(out[h.To], h.Rev)
+	}
+	if inst.EdgeColors != nil {
+		view.Input.EdgeColors = make([]int, len(ports))
+		for q, h := range ports {
+			view.Input.EdgeColors[q] = inst.EdgeColors[h.Edge]
+		}
+	}
+	return view
+}
+
+// VerifierFactory returns a 1-round distributed verifier for p: every node
+// is given its output label as input (paired with the instance input via
+// VerifierInputs), exchanges labels with its neighbors in one round, applies
+// the check, and outputs a nil error or the violation. This is the
+// "solutions can be verified in O(1) rounds" half of the LCL definition,
+// running for real in the simulator.
+func VerifierFactory(p Problem) sim.Factory {
+	return func() sim.Machine { return &verifier{p: p} }
+}
+
+// VerifierInput is the per-vertex input of a verification run.
+type VerifierInput struct {
+	Instance VertexInput
+	Label    any
+}
+
+// VerifierInputs bundles an instance's inputs with a labeling, for use as
+// sim.Config.Inputs in a verification run.
+func VerifierInputs(inst Instance, out []any) []any {
+	inputs := make([]any, inst.G.N())
+	instIn := inst.NodeInputs()
+	for v := range inputs {
+		vi := VerifierInput{Label: out[v]}
+		if instIn != nil {
+			vi.Instance = instIn[v].(VertexInput)
+		}
+		inputs[v] = vi
+	}
+	return inputs
+}
+
+type verifier struct {
+	p    Problem
+	env  sim.Env
+	in   VerifierInput
+	errv error
+}
+
+var _ sim.Machine = (*verifier)(nil)
+
+func (m *verifier) Init(env sim.Env) {
+	m.env = env
+	var ok bool
+	m.in, ok = env.Input.(VerifierInput)
+	if !ok {
+		m.errv = fmt.Errorf("lcl: verifier input is %T, want VerifierInput", env.Input)
+	}
+}
+
+func (m *verifier) Step(step int, recv []sim.Message) ([]sim.Message, bool) {
+	if m.errv != nil {
+		return nil, true
+	}
+	switch step {
+	case 1:
+		send := make([]sim.Message, m.env.Degree)
+		for p := range send {
+			send[p] = m.p.echoAt(m.in.Label, p)
+		}
+		return send, false
+	default:
+		view := LocalView{
+			Degree:    m.env.Degree,
+			Input:     m.in.Instance,
+			Label:     m.in.Label,
+			NbrLabels: make([]any, len(recv)),
+		}
+		for p, msg := range recv {
+			view.NbrLabels[p] = msg
+		}
+		m.errv = m.p.Check(view)
+		return nil, true
+	}
+}
+
+func (m *verifier) Output() any {
+	if m.errv == nil {
+		return nil
+	}
+	return m.errv
+}
+
+// VerifyDistributed runs the 1-round distributed verifier and reports
+// whether every vertex accepted, the number of rounds the verification
+// used, and the first violation (if any).
+func VerifyDistributed(p Problem, inst Instance, out []any) (bool, int, error) {
+	res, err := sim.Run(inst.G, sim.Config{Inputs: VerifierInputs(inst, out)}, VerifierFactory(p))
+	if err != nil {
+		return false, 0, fmt.Errorf("lcl: verification run failed: %w", err)
+	}
+	for v, o := range res.Outputs {
+		if o != nil {
+			return false, res.Rounds, fmt.Errorf("vertex %d rejects: %w", v, o.(error))
+		}
+	}
+	return true, res.Rounds, nil
+}
+
+// errLabelType is returned by checks on labels of the wrong dynamic type.
+var errLabelType = errors.New("label has wrong type")

@@ -1,0 +1,311 @@
+package lcl
+
+import (
+	"strings"
+	"testing"
+
+	"locality/internal/graph"
+	"locality/internal/rng"
+)
+
+func ring5Instance() Instance {
+	return Instance{G: graph.Ring(5)}
+}
+
+func TestColoringValidAndInvalid(t *testing.T) {
+	inst := ring5Instance()
+	p := Coloring(3)
+	valid := IntLabels([]int{1, 2, 1, 2, 3})
+	if err := p.Validate(inst, valid); err != nil {
+		t.Errorf("valid 3-coloring rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		labels []int
+		substr string
+	}{
+		{"monochromatic edge", []int{1, 1, 2, 1, 2}, "monochromatic"},
+		{"out of palette high", []int{1, 2, 1, 2, 4}, "palette"},
+		{"out of palette zero", []int{1, 2, 1, 2, 0}, "palette"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := p.Validate(inst, IntLabels(tt.labels))
+			if err == nil {
+				t.Fatal("invalid coloring accepted")
+			}
+			if !strings.Contains(err.Error(), tt.substr) {
+				t.Errorf("error %q does not mention %q", err, tt.substr)
+			}
+		})
+	}
+}
+
+func TestColoringWrongTypeRejected(t *testing.T) {
+	inst := ring5Instance()
+	labels := IntLabels([]int{1, 2, 1, 2, 3})
+	labels[2] = "red"
+	if err := Coloring(3).Validate(inst, labels); err == nil {
+		t.Error("string label accepted")
+	}
+}
+
+func TestMISValidation(t *testing.T) {
+	g := graph.Path(5)
+	inst := Instance{G: g}
+	p := MIS()
+	if err := p.Validate(inst, BoolLabels([]bool{true, false, true, false, true})); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	// Independence violation.
+	if err := p.Validate(inst, BoolLabels([]bool{true, true, false, false, true})); err == nil {
+		t.Error("dependent set accepted")
+	}
+	// Maximality violation: {0, 4} leaves vertex 2 uncovered.
+	if err := p.Validate(inst, BoolLabels([]bool{true, false, false, false, true})); err == nil {
+		t.Error("non-maximal set accepted")
+	}
+	// Isolated vertex must be in the set.
+	iso := Instance{G: graph.NewBuilder(1).MustBuild()}
+	if err := p.Validate(iso, BoolLabels([]bool{false})); err == nil {
+		t.Error("isolated vertex outside MIS accepted")
+	}
+	if err := p.Validate(iso, BoolLabels([]bool{true})); err != nil {
+		t.Errorf("isolated vertex in MIS rejected: %v", err)
+	}
+}
+
+func TestMatchingValidation(t *testing.T) {
+	// Path 0-1-2-3: match {0,1} and {2,3}.
+	g := graph.Path(4)
+	inst := Instance{G: g}
+	portOf := func(v, u int) MatchLabel {
+		for p, h := range g.Ports(v) {
+			if h.To == u {
+				return MatchLabel(p)
+			}
+		}
+		t.Fatalf("no edge %d-%d", v, u)
+		return -1
+	}
+	valid := []MatchLabel{portOf(0, 1), portOf(1, 0), portOf(2, 3), portOf(3, 2)}
+	if err := ValidateMatching(inst, valid); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+	// Asymmetric: 1 claims 2, but 2 claims 3.
+	bad := []MatchLabel{portOf(0, 1), portOf(1, 2), portOf(2, 3), portOf(3, 2)}
+	if err := ValidateMatching(inst, bad); err == nil {
+		t.Error("asymmetric matching accepted")
+	}
+	// Non-maximal: nothing matched.
+	none := []MatchLabel{-1, -1, -1, -1}
+	if err := ValidateMatching(inst, none); err == nil {
+		t.Error("empty matching on a path accepted")
+	}
+	// Middle edge matched: {1,2} alone IS maximal on P4.
+	mid := []MatchLabel{-1, portOf(1, 2), portOf(2, 1), -1}
+	if err := ValidateMatching(inst, mid); err != nil {
+		t.Errorf("maximal middle matching rejected: %v", err)
+	}
+}
+
+func TestSinklessOrientationValidation(t *testing.T) {
+	g := graph.Ring(4)
+	inst := Instance{G: g}
+	// Orient the ring cyclically: every vertex out-degree 1. Build labels
+	// from edge directions: edge e = {u,v} oriented u->v iff u+1 == v or
+	// (u,v) = (n-1, 0).
+	n := g.N()
+	labels := make([]OrientationLabel, n)
+	for v := 0; v < n; v++ {
+		ports := g.Ports(v)
+		out := make([]bool, len(ports))
+		for p, h := range ports {
+			out[p] = h.To == (v+1)%n
+		}
+		labels[v] = OrientationLabel{Out: out}
+	}
+	if err := ValidateOrientation(inst, labels); err != nil {
+		t.Errorf("cyclic orientation rejected: %v", err)
+	}
+	// Make vertex 0 a sink: flip its outgoing edge from both sides.
+	sink := make([]OrientationLabel, n)
+	for v := range sink {
+		sink[v] = OrientationLabel{Out: append([]bool(nil), labels[v].Out...)}
+	}
+	for p, h := range g.Ports(0) {
+		if h.To == 1 {
+			sink[0].Out[p] = false
+			sink[1].Out[h.Rev] = true
+		}
+	}
+	err := ValidateOrientation(inst, sink)
+	if err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Errorf("sink not detected: %v", err)
+	}
+	// Inconsistent edge: both endpoints claim it outgoing.
+	incons := make([]OrientationLabel, n)
+	for v := range incons {
+		incons[v] = OrientationLabel{Out: append([]bool(nil), labels[v].Out...)}
+	}
+	for _, h := range g.Ports(0) {
+		if h.To == 1 {
+			incons[1].Out[h.Rev] = true // 0 already claims it
+		}
+	}
+	if err := ValidateOrientation(inst, incons); err == nil {
+		t.Error("inconsistent orientation accepted")
+	}
+}
+
+func TestSinklessColoringValidation(t *testing.T) {
+	ecg := graph.RandomRegularBipartite(6, 3, rng.New(2))
+	inst := Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: 3}
+	p := SinklessColoring(3)
+	// A proper 2-coloring by side is in particular sinkless... no: sinkless
+	// needs color(u)=color(v)=ψ(e) forbidden; a proper coloring never has
+	// color(u)=color(v), so it is trivially valid. Use side coloring 1/2.
+	labels := make([]int, ecg.N())
+	for v := range labels {
+		if v < 6 {
+			labels[v] = 1
+		} else {
+			labels[v] = 2
+		}
+	}
+	if err := p.Validate(inst, IntLabels(labels)); err != nil {
+		t.Errorf("proper coloring rejected as sinkless coloring: %v", err)
+	}
+	// Force a forbidden configuration: pick edge 0, set both endpoints to
+	// its edge color.
+	u, v := ecg.EdgeEndpoints(0)
+	bad := append([]int(nil), labels...)
+	bad[u] = ecg.Colors[0]
+	bad[v] = ecg.Colors[0]
+	if err := p.Validate(inst, IntLabels(bad)); err == nil {
+		t.Error("forbidden monochromatic configuration accepted")
+	}
+	// Same vertex colors WITHOUT matching edge color is fine for sinkless
+	// coloring (it is not a proper coloring problem): craft one.
+	otherColor := ecg.Colors[0]%3 + 1
+	okSame := append([]int(nil), labels...)
+	okSame[u] = otherColor
+	okSame[v] = otherColor
+	// Only acceptable if no OTHER incident edge creates a forbidden
+	// configuration; check via the validator itself on this small case and
+	// tolerate both outcomes, but ensure the specific edge-0 check passes:
+	// the Check must not report port errors mentioning "palette".
+	if err := p.Validate(inst, IntLabels(okSame)); err != nil &&
+		strings.Contains(err.Error(), "palette") {
+		t.Errorf("unexpected palette error: %v", err)
+	}
+}
+
+func TestDistributedVerifierAgreesWithCentral(t *testing.T) {
+	r := rng.New(8)
+	g := graph.RandomTree(50, 4, r)
+	inst := Instance{G: g}
+	p := Coloring(5)
+	// Greedy valid coloring (centralized, just for test data).
+	colors := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		used := map[int]bool{}
+		for _, h := range g.Ports(v) {
+			used[colors[h.To]] = true
+		}
+		for c := 1; ; c++ {
+			if !used[c] {
+				colors[v] = c
+				break
+			}
+		}
+	}
+	labels := IntLabels(colors)
+	centralErr := p.Validate(inst, labels)
+	ok, rounds, distErr := VerifyDistributed(p, inst, labels)
+	if centralErr != nil || !ok {
+		t.Fatalf("valid coloring rejected: central=%v distributed=%v", centralErr, distErr)
+	}
+	if rounds != 1 {
+		t.Errorf("distributed verification took %d rounds, want 1 (it is an LCL!)", rounds)
+	}
+	// Corrupt one vertex; both must reject.
+	bad := append([]any(nil), labels...)
+	bad[10] = colors[g.Ports(10)[0].To] // copy a neighbor's color
+	if err := p.Validate(inst, bad); err == nil {
+		t.Error("central verifier accepted corruption")
+	}
+	if ok, _, _ := VerifyDistributed(p, inst, bad); ok {
+		t.Error("distributed verifier accepted corruption")
+	}
+}
+
+func TestDistributedVerifierMatchingAndOrientation(t *testing.T) {
+	// The Echo mechanism must make the per-edge problems verifiable in one
+	// round too.
+	g := graph.Ring(6)
+	inst := Instance{G: g}
+	n := g.N()
+	labels := make([]any, n)
+	for v := 0; v < n; v++ {
+		ports := g.Ports(v)
+		out := make([]bool, len(ports))
+		for p, h := range ports {
+			out[p] = h.To == (v+1)%n
+		}
+		labels[v] = OrientationLabel{Out: out}
+	}
+	ok, rounds, err := VerifyDistributed(SinklessOrientation(), inst, labels)
+	if !ok {
+		t.Errorf("distributed orientation verification failed: %v", err)
+	}
+	if rounds != 1 {
+		t.Errorf("orientation verification rounds = %d, want 1", rounds)
+	}
+
+	match := make([]any, n)
+	for v := 0; v < n; v++ {
+		partner := v ^ 1 // pairs (0,1),(2,3),(4,5)
+		ml := MatchLabel(-1)
+		for p, h := range g.Ports(v) {
+			if h.To == partner {
+				ml = MatchLabel(p)
+			}
+		}
+		match[v] = ml
+	}
+	ok, _, err = VerifyDistributed(MaximalMatching(), inst, match)
+	if !ok {
+		t.Errorf("distributed matching verification failed: %v", err)
+	}
+}
+
+func TestValidateLengthMismatch(t *testing.T) {
+	inst := ring5Instance()
+	if err := Coloring(3).Validate(inst, IntLabels([]int{1, 2})); err == nil {
+		t.Error("short labeling accepted")
+	}
+}
+
+func TestNodeInputs(t *testing.T) {
+	ecg := graph.RandomRegularBipartite(4, 3, rng.New(6))
+	inst := Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: 3}
+	inputs := inst.NodeInputs()
+	if len(inputs) != ecg.N() {
+		t.Fatalf("inputs length %d, want %d", len(inputs), ecg.N())
+	}
+	for v, in := range inputs {
+		vi := in.(VertexInput)
+		if len(vi.EdgeColors) != ecg.Degree(v) {
+			t.Fatalf("vertex %d input has %d colors, want %d", v, len(vi.EdgeColors), ecg.Degree(v))
+		}
+		for p, c := range vi.EdgeColors {
+			if want := ecg.Colors[ecg.Ports(v)[p].Edge]; c != want {
+				t.Errorf("vertex %d port %d color %d, want %d", v, p, c, want)
+			}
+		}
+	}
+	if (Instance{G: ecg.Graph}).NodeInputs() != nil {
+		t.Error("instance without edge colors should have nil inputs")
+	}
+}

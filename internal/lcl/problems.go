@@ -1,0 +1,271 @@
+package lcl
+
+import (
+	"fmt"
+)
+
+// This file defines the concrete LCL problems from Section II of the paper.
+// Label conventions (all 1-based where applicable):
+//
+//   k-coloring          label = int in 1..k
+//   MIS                 label = bool (in the set)
+//   maximal matching    label = int: the port of the matched edge, or -1
+//   Δ-sinkless coloring label = int in 1..Δ (needs edge-colored instance)
+//   Δ-sinkless orient.  label = OrientationLabel: Out[p] per port
+//
+// Matching and orientation labels are per-vertex encodings of edge
+// decisions, so the radius-1 check also enforces consistency between the
+// two endpoints, exactly as the paper notes for sinkless orientation
+// ("the radius r = 1 is necessary and sufficient to verify that the
+// orientations declared by both endpoints of an edge are consistent").
+
+// Coloring returns the k-COLORING LCL: adjacent vertices get distinct
+// colors from {1, ..., k}.
+func Coloring(k int) Problem {
+	return Problem{
+		Name:   fmt.Sprintf("%d-coloring", k),
+		Radius: 1,
+		Check: func(view LocalView) error {
+			c, ok := view.Label.(int)
+			if !ok {
+				return fmt.Errorf("%w: %T", errLabelType, view.Label)
+			}
+			if c < 1 || c > k {
+				return fmt.Errorf("color %d outside palette 1..%d", c, k)
+			}
+			for p, nl := range view.NbrLabels {
+				nc, ok := nl.(int)
+				if !ok {
+					return fmt.Errorf("%w: neighbor at port %d has %T", errLabelType, p, nl)
+				}
+				if nc == c {
+					return fmt.Errorf("monochromatic edge at port %d (color %d)", p, c)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MIS returns the MAXIMAL INDEPENDENT SET LCL: v is in the set iff none of
+// its neighbors is.
+func MIS() Problem {
+	return Problem{
+		Name:   "MIS",
+		Radius: 1,
+		Check: func(view LocalView) error {
+			in, ok := view.Label.(bool)
+			if !ok {
+				return fmt.Errorf("%w: %T", errLabelType, view.Label)
+			}
+			nbrIn := false
+			for p, nl := range view.NbrLabels {
+				b, ok := nl.(bool)
+				if !ok {
+					return fmt.Errorf("%w: neighbor at port %d has %T", errLabelType, p, nl)
+				}
+				if b && in {
+					return fmt.Errorf("independence violated at port %d", p)
+				}
+				nbrIn = nbrIn || b
+			}
+			if !in && !nbrIn && view.Degree > 0 {
+				return fmt.Errorf("maximality violated: vertex and all neighbors out")
+			}
+			if !in && view.Degree == 0 {
+				return fmt.Errorf("isolated vertex must join the MIS")
+			}
+			return nil
+		},
+	}
+}
+
+// MatchLabel encodes a vertex's maximal-matching decision: the port of its
+// matched edge, or -1 if unmatched.
+type MatchLabel int
+
+// MaximalMatching returns the MAXIMAL MATCHING LCL. The radius-1 check
+// enforces (a) consistency: if v says "matched via port p" then the
+// neighbor at p matches back along the same edge; (b) maximality: two
+// adjacent unmatched vertices are forbidden. The Echo hook projects a
+// vertex's decision onto each port ("am I matched, and is it along this
+// edge?"), which is what makes both constraints checkable at radius 1.
+func MaximalMatching() Problem {
+	return Problem{
+		Name:   "maximal-matching",
+		Radius: 1,
+		Echo: func(label any, port int) any {
+			ml, ok := label.(MatchLabel)
+			if !ok {
+				return label // surfaced as a type error at the receiver
+			}
+			return matchEcho{Unmatched: ml < 0, TowardsMe: int(ml) == port}
+		},
+		Check: func(view LocalView) error {
+			ml, ok := view.Label.(MatchLabel)
+			if !ok {
+				return fmt.Errorf("%w: %T", errLabelType, view.Label)
+			}
+			p := int(ml)
+			if p < -1 || p >= view.Degree {
+				return fmt.Errorf("match port %d out of range for degree %d", p, view.Degree)
+			}
+			if p >= 0 {
+				// The neighbor at port p must also be matched. (It claims
+				// some port; mutual agreement is enforced because IT runs
+				// the same check and we broadcast along the shared edge:
+				// see matchedTowards below.)
+				nl, ok := view.NbrLabels[p].(matchEcho)
+				if !ok {
+					return fmt.Errorf("%w: neighbor echo at port %d has %T", errLabelType, p, view.NbrLabels[p])
+				}
+				if !nl.TowardsMe {
+					return fmt.Errorf("asymmetric matching: port-%d neighbor does not match back", p)
+				}
+				return nil
+			}
+			// Unmatched: no neighbor may be unmatched too.
+			for q, nl := range view.NbrLabels {
+				e, ok := nl.(matchEcho)
+				if !ok {
+					return fmt.Errorf("%w: neighbor echo at port %d has %T", errLabelType, q, view.NbrLabels[q])
+				}
+				if e.Unmatched {
+					return fmt.Errorf("maximality violated: both endpoints of port-%d edge unmatched", q)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// matchEcho is what a vertex's matching label looks like across one of its
+// edges: whether the vertex is unmatched, and whether its matched edge is
+// this one.
+type matchEcho struct {
+	Unmatched bool
+	TowardsMe bool
+}
+
+// ValidateMatching judges a maximal matching centrally.
+func ValidateMatching(inst Instance, labels []MatchLabel) error {
+	out := make([]any, len(labels))
+	for i, l := range labels {
+		out[i] = l
+	}
+	return MaximalMatching().Validate(inst, out)
+}
+
+// OrientationLabel encodes a vertex's orientation decisions: Out[p] is true
+// when the edge at port p is oriented away from this vertex.
+type OrientationLabel struct {
+	Out []bool
+}
+
+// SinklessOrientation returns the Δ-SINKLESS ORIENTATION LCL of Brandt et
+// al. [1]: orient every edge so that every vertex has out-degree >= 1, with
+// the radius-1 check also enforcing that the two endpoints of each edge
+// agree (exactly one claims it outgoing).
+//
+// The Echo hook exposes each endpoint's decision about the shared edge.
+func SinklessOrientation() Problem {
+	return Problem{
+		Name:   "sinkless-orientation",
+		Radius: 1,
+		Echo: func(label any, port int) any {
+			ol, ok := label.(OrientationLabel)
+			if !ok || port >= len(ol.Out) {
+				return label // surfaced as a type error at the receiver
+			}
+			return orientEcho(ol.Out[port])
+		},
+		Check: func(view LocalView) error {
+			ol, ok := view.Label.(OrientationLabel)
+			if !ok {
+				return fmt.Errorf("%w: %T", errLabelType, view.Label)
+			}
+			if len(ol.Out) != view.Degree {
+				return fmt.Errorf("orientation labels %d ports, degree is %d", len(ol.Out), view.Degree)
+			}
+			hasOut := false
+			for p, out := range ol.Out {
+				echo, ok := view.NbrLabels[p].(orientEcho)
+				if !ok {
+					return fmt.Errorf("%w: neighbor echo at port %d has %T", errLabelType, p, view.NbrLabels[p])
+				}
+				if out == bool(echo) {
+					return fmt.Errorf("edge at port %d claimed %v by both endpoints", p, out)
+				}
+				hasOut = hasOut || out
+			}
+			if !hasOut {
+				return fmt.Errorf("vertex is a sink (out-degree 0)")
+			}
+			return nil
+		},
+	}
+}
+
+// orientEcho is the neighbor's claim about the shared edge: true = "I
+// orient it outgoing (towards you)".
+type orientEcho bool
+
+// ValidateOrientation judges a sinkless orientation centrally.
+func ValidateOrientation(inst Instance, labels []OrientationLabel) error {
+	out := make([]any, len(labels))
+	for i, l := range labels {
+		out[i] = l
+	}
+	return SinklessOrientation().Validate(inst, out)
+}
+
+// SinklessColoring returns the Δ-SINKLESS COLORING LCL of Brandt et al.
+// [1]: given a Δ-regular graph with a proper Δ-edge coloring, color the
+// vertices with 1..Δ such that no edge has both endpoints and the edge
+// itself sharing one color.
+func SinklessColoring(delta int) Problem {
+	return Problem{
+		Name:   fmt.Sprintf("%d-sinkless-coloring", delta),
+		Radius: 1,
+		Check: func(view LocalView) error {
+			c, ok := view.Label.(int)
+			if !ok {
+				return fmt.Errorf("%w: %T", errLabelType, view.Label)
+			}
+			if c < 1 || c > delta {
+				return fmt.Errorf("color %d outside palette 1..%d", c, delta)
+			}
+			if len(view.Input.EdgeColors) != view.Degree {
+				return fmt.Errorf("instance provides %d edge colors for degree %d", len(view.Input.EdgeColors), view.Degree)
+			}
+			for p, nl := range view.NbrLabels {
+				nc, ok := nl.(int)
+				if !ok {
+					return fmt.Errorf("%w: neighbor at port %d has %T", errLabelType, p, nl)
+				}
+				if nc == c && view.Input.EdgeColors[p] == c {
+					return fmt.Errorf("forbidden monochromatic configuration at port %d (color %d)", p, c)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// IntLabels converts int outputs to the []any form Validate expects.
+func IntLabels(xs []int) []any {
+	out := make([]any, len(xs))
+	for i, x := range xs {
+		out[i] = x
+	}
+	return out
+}
+
+// BoolLabels converts bool outputs to the []any form Validate expects.
+func BoolLabels(xs []bool) []any {
+	out := make([]any, len(xs))
+	for i, x := range xs {
+		out[i] = x
+	}
+	return out
+}

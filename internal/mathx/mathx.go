@@ -1,0 +1,220 @@
+// Package mathx provides the small mathematical toolbox the rest of the
+// library builds on: iterated logarithms, prime search (used by the
+// polynomial cover-free families behind Linial's coloring), integer helpers,
+// and summary statistics for the experiment harness.
+//
+// Everything here is deterministic and allocation-light; several functions
+// sit on hot paths of the simulator.
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Log2 returns the base-2 logarithm of x as a float64.
+// It panics if x <= 0; callers in this library always pass positive values
+// derived from graph sizes.
+func Log2(x float64) float64 {
+	if x <= 0 {
+		panic(fmt.Sprintf("mathx: Log2 of non-positive value %v", x))
+	}
+	return math.Log2(x)
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1. CeilLog2(1) == 0.
+func CeilLog2(x int) int {
+	if x < 1 {
+		panic(fmt.Sprintf("mathx: CeilLog2 of value %d < 1", x))
+	}
+	n, p := 0, 1
+	for p < x {
+		p <<= 1
+		n++
+	}
+	return n
+}
+
+// FloorLog2 returns floor(log2(x)) for x >= 1.
+func FloorLog2(x int) int {
+	if x < 1 {
+		panic(fmt.Sprintf("mathx: FloorLog2 of value %d < 1", x))
+	}
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// LogStar returns log*(x): the number of times log2 must be iterated,
+// starting from x, before the result is at most 1.
+//
+// LogStar(1) = 0, LogStar(2) = 1, LogStar(4) = 2, LogStar(16) = 3,
+// LogStar(65536) = 4. This is the yardstick for the O(log* n) running times
+// throughout the paper.
+func LogStar(x float64) int {
+	if x <= 1 {
+		return 0
+	}
+	n := 0
+	for x > 1 {
+		x = math.Log2(x)
+		n++
+		if n > 10 {
+			// log* of anything representable in a float64 is at most 5;
+			// this is an internal sanity backstop.
+			panic("mathx: LogStar failed to converge")
+		}
+	}
+	return n
+}
+
+// LogBase returns log_base(x) for base > 1 and x > 0.
+func LogBase(base, x float64) float64 {
+	if base <= 1 {
+		panic(fmt.Sprintf("mathx: LogBase with base %v <= 1", base))
+	}
+	return math.Log(x) / math.Log(base)
+}
+
+// IsPrime reports whether n is prime, by trial division.
+// It is intended for the modest primes (< 10^7) used by cover-free family
+// construction, where trial division is more than fast enough.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n.
+func NextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// PowInt returns base^exp for non-negative exp, saturating at math.MaxInt64
+// instead of overflowing. The saturation behaviour is what the cover-free
+// construction wants: it only ever asks "is q^(d+1) >= k".
+func PowInt(base, exp int) int {
+	if exp < 0 {
+		panic(fmt.Sprintf("mathx: PowInt with negative exponent %d", exp))
+	}
+	result := 1
+	for i := 0; i < exp; i++ {
+		if base != 0 && result > math.MaxInt64/base {
+			return math.MaxInt64
+		}
+		result *= base
+	}
+	return result
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Abs returns the absolute value of a.
+func Abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Stats summarizes a sample of observations. It is the unit the experiment
+// harness aggregates and renders.
+type Stats struct {
+	Count int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P95   float64
+}
+
+// Summarize computes summary statistics of xs. It returns the zero Stats for
+// an empty sample.
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	return s
+}
+
+// SummarizeInts converts xs to float64 and summarizes them.
+func SummarizeInts(xs []int) Stats {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// quantile returns the q-quantile of an already-sorted sample using nearest
+// rank with linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

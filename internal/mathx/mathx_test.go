@@ -1,0 +1,177 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{0.5, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{16, 3},
+		{17, 4},
+		{65536, 4},
+		{65537, 5},
+		{1e18, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.x); got != tt.want {
+			t.Errorf("LogStar(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCeilFloorLog2(t *testing.T) {
+	tests := []struct {
+		x           int
+		ceil, floor int
+	}{
+		{1, 0, 0},
+		{2, 1, 1},
+		{3, 2, 1},
+		{4, 2, 2},
+		{5, 3, 2},
+		{1024, 10, 10},
+		{1025, 11, 10},
+	}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.x); got != tt.ceil {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.x, got, tt.ceil)
+		}
+		if got := FloorLog2(tt.x); got != tt.floor {
+			t.Errorf("FloorLog2(%d) = %d, want %d", tt.x, got, tt.floor)
+		}
+	}
+}
+
+func TestCeilLog2PanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilLog2(0) did not panic")
+		}
+	}()
+	CeilLog2(0)
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		97: true, 7919: true,
+	}
+	composites := []int{-7, 0, 1, 4, 6, 9, 15, 25, 49, 100, 7917}
+	for p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17}, {100, 101},
+	}
+	for _, tt := range tests {
+		if got := NextPrime(tt.n); got != tt.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNextPrimeProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw%10000) + 2
+		p := NextPrime(n)
+		if p < n || !IsPrime(p) {
+			return false
+		}
+		// No prime strictly between n and p.
+		for m := n; m < p; m++ {
+			if IsPrime(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowInt(t *testing.T) {
+	tests := []struct{ b, e, want int }{
+		{2, 0, 1},
+		{2, 10, 1024},
+		{3, 4, 81},
+		{10, 18, 1000000000000000000},
+		{0, 5, 0},
+		{1, 1000, 1},
+	}
+	for _, tt := range tests {
+		if got := PowInt(tt.b, tt.e); got != tt.want {
+			t.Errorf("PowInt(%d,%d) = %d, want %d", tt.b, tt.e, got, tt.want)
+		}
+	}
+	if got := PowInt(10, 40); got != math.MaxInt64 {
+		t.Errorf("PowInt(10,40) = %d, want saturation at MaxInt64", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summarize basic stats wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+	if got := Summarize(nil); got != (Stats{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", got)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.Std != 0 {
+		t.Errorf("single-sample stats wrong: %+v", one)
+	}
+}
+
+func TestSummarizeIntsMatchesFloat(t *testing.T) {
+	si := SummarizeInts([]int{4, 8, 15, 16, 23, 42})
+	sf := Summarize([]float64{4, 8, 15, 16, 23, 42})
+	if si != sf {
+		t.Errorf("SummarizeInts = %+v, Summarize = %+v", si, sf)
+	}
+}
+
+func TestLogBase(t *testing.T) {
+	if got := LogBase(2, 8); math.Abs(got-3) > 1e-12 {
+		t.Errorf("LogBase(2,8) = %v, want 3", got)
+	}
+	if got := LogBase(3, 81); math.Abs(got-4) > 1e-12 {
+		t.Errorf("LogBase(3,81) = %v, want 4", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if Abs(-4) != 4 || Abs(4) != 4 || Abs(0) != 0 {
+		t.Error("Abs wrong")
+	}
+}

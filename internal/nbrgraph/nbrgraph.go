@@ -1,0 +1,300 @@
+// Package nbrgraph implements Linial's neighborhood-graph technique as an
+// executable lower-bound engine for LCLs on directed rings — the mechanical
+// counterpart of the dichotomy discussion around Theorem 7 and of Linial's
+// Ω(log* n) bound.
+//
+// A deterministic t-round algorithm on directed rings with IDs drawn from
+// {1..m} is exactly a function from (2t+1)-tuples of distinct IDs (the
+// radius-t view) to output labels. The algorithm k-colors every ring of
+// length >= 2t+2 iff the NEIGHBORHOOD GRAPH B_t(m) — vertices: the tuples;
+// edges: pairs of consecutive windows (x1..x_{2t+1}) ~ (x2..x_{2t+2}) —
+// is k-colorable. So:
+//
+//   - χ(B_t(m)) > k proves NO t-round k-coloring algorithm exists: an
+//     unconditional, machine-checked LOCAL lower bound;
+//   - a k-coloring of B_t(m) IS a t-round algorithm, which Synthesize
+//     turns into a runnable simulator machine.
+//
+// Because every directed ring of odd length >= 2t+2 with distinct IDs maps
+// to a closed odd walk in B_t(m), B_t(m) is never bipartite (for m >=
+// 2t+3), which mechanically proves the Ω(n)/"no t-round algorithm for any
+// t" side of the 2-coloring dichotomy; 3-colorability kicks in only once t
+// grows like log* m, Linial's bound.
+package nbrgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"locality/internal/graph"
+	"locality/internal/sim"
+)
+
+// Tuple is a view: 2t+1 distinct IDs in ring order.
+type Tuple []int
+
+// key encodes a tuple for map lookup.
+func (tp Tuple) key() string {
+	b := make([]byte, 0, len(tp)*2)
+	for _, x := range tp {
+		b = append(b, byte(x>>8), byte(x))
+	}
+	return string(b)
+}
+
+// NbrGraph is the neighborhood graph B_t(m) with its tuple index.
+type NbrGraph struct {
+	T, M   int
+	G      *graph.Graph
+	Tuples []Tuple
+	index  map[string]int
+}
+
+// Build enumerates B_t(m). It panics when the tuple count would exceed
+// 200000 (the engine is for small parameters by design).
+func Build(t, m int) *NbrGraph {
+	w := 2*t + 1
+	if m < w+1 {
+		panic(fmt.Sprintf("nbrgraph: need m >= %d for %d-round views plus an extension", w+1, t))
+	}
+	count := 1
+	for i := 0; i < w; i++ {
+		count *= m - i
+		if count > 200000 {
+			panic(fmt.Sprintf("nbrgraph: B_%d(%d) has over 200000 tuples", t, m))
+		}
+	}
+	ng := &NbrGraph{T: t, M: m, index: make(map[string]int, count)}
+	// Enumerate ordered tuples of distinct IDs.
+	cur := make(Tuple, 0, w)
+	used := make([]bool, m+1)
+	var rec func()
+	rec = func() {
+		if len(cur) == w {
+			tp := append(Tuple(nil), cur...)
+			ng.index[tp.key()] = len(ng.Tuples)
+			ng.Tuples = append(ng.Tuples, tp)
+			return
+		}
+		for id := 1; id <= m; id++ {
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			cur = append(cur, id)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[id] = false
+		}
+	}
+	rec()
+	// Edges: windows (x1..x_w) ~ (x2..x_{w+1}) for every (w+1)-tuple of
+	// distinct IDs. Deduplicate (u < v ordering can repeat when w = 1...
+	// it cannot: consecutive windows of distinct tuples differ).
+	b := graph.NewBuilder(len(ng.Tuples))
+	seen := make(map[[2]int]struct{})
+	for u, tp := range ng.Tuples {
+		// Extend on the right by any unused ID.
+		inTuple := make(map[int]bool, w)
+		for _, x := range tp {
+			inTuple[x] = true
+		}
+		for id := 1; id <= m; id++ {
+			if inTuple[id] {
+				continue
+			}
+			next := append(append(Tuple(nil), tp[1:]...), id)
+			v := ng.index[next.key()]
+			if u == v {
+				continue // impossible for distinct-ID tuples, but be safe
+			}
+			k := [2]int{u, v}
+			if u > v {
+				k = [2]int{v, u}
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			b.AddEdge(k[0], k[1])
+		}
+	}
+	ng.G = b.MustBuild()
+	return ng
+}
+
+// ColorResult reports a colorability decision.
+type ColorResult struct {
+	// Decided is false when the search hit its node budget.
+	Decided bool
+	// Colorable is meaningful only when Decided.
+	Colorable bool
+	// Coloring holds a witness k-coloring (1-based) when Colorable.
+	Coloring []int
+	// Nodes counts search-tree nodes visited.
+	Nodes int
+}
+
+// Colorable decides whether g is k-colorable by backtracking with a
+// largest-degree-first order, greedy symmetry breaking, and a node budget.
+func Colorable(g *graph.Graph, k, nodeBudget int) ColorResult {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	colors := make([]int, n) // 0 = unassigned
+	res := ColorResult{}
+	var rec func(i, maxUsed int) bool
+	rec = func(i, maxUsed int) bool {
+		if i == n {
+			return true
+		}
+		res.Nodes++
+		if res.Nodes > nodeBudget {
+			return false
+		}
+		v := order[i]
+		limit := maxUsed + 1
+		if limit > k {
+			limit = k
+		}
+		var used uint64
+		for _, h := range g.Ports(v) {
+			if c := colors[h.To]; c > 0 {
+				used |= 1 << c
+			}
+		}
+		for c := 1; c <= limit; c++ {
+			if used&(1<<c) != 0 {
+				continue
+			}
+			colors[v] = c
+			nm := maxUsed
+			if c > nm {
+				nm = c
+			}
+			if rec(i+1, nm) {
+				return true
+			}
+			colors[v] = 0
+			if res.Nodes > nodeBudget {
+				return false
+			}
+		}
+		return false
+	}
+	ok := rec(0, 0)
+	if res.Nodes > nodeBudget {
+		return res // Decided=false
+	}
+	res.Decided = true
+	res.Colorable = ok
+	if ok {
+		res.Coloring = colors
+	}
+	return res
+}
+
+// AlgorithmExists decides whether a t-round deterministic k-coloring
+// algorithm exists on directed rings (length >= 2t+2) with ID space m.
+func AlgorithmExists(t, m, k, nodeBudget int) ColorResult {
+	ng := Build(t, m)
+	return Colorable(ng.G, k, nodeBudget)
+}
+
+// Synthesize turns a witness coloring of B_t(m) into a runnable t-round
+// machine for directed rings: collect the radius-t ID window (using the
+// orientation input), look the tuple up, output its color. The machine is
+// only valid on rings of length >= 2t+2 with IDs from 1..m.
+func (ng *NbrGraph) Synthesize(coloring []int) sim.Factory {
+	if len(coloring) != len(ng.Tuples) {
+		panic("nbrgraph: coloring length mismatch")
+	}
+	return func() sim.Machine {
+		return &synth{ng: ng, coloring: coloring}
+	}
+}
+
+// SuccPort is the promise input: the port toward the ring successor.
+type SuccPort struct {
+	Port int
+}
+
+type synth struct {
+	ng       *NbrGraph
+	coloring []int
+	env      sim.Env
+	succ     int
+	pred     int
+	left     []int // IDs at distance 1..t in predecessor direction
+	right    []int // IDs at distance 1..t in successor direction
+	color    int
+}
+
+var _ sim.Machine = (*synth)(nil)
+
+func (m *synth) Init(env sim.Env) {
+	if env.Degree != 2 {
+		panic("nbrgraph: synthesized machine runs on rings only")
+	}
+	sp, ok := env.Input.(SuccPort)
+	if !ok {
+		panic(fmt.Sprintf("nbrgraph: input is %T, want SuccPort", env.Input))
+	}
+	m.env = env
+	m.succ = sp.Port
+	m.pred = 1 - sp.Port
+}
+
+// chainMsg floods ID chains along the ring orientation.
+type chainMsg struct {
+	IDs []int // nearest first
+}
+
+func (m *synth) Step(step int, recv []sim.Message) ([]sim.Message, bool) {
+	if step > 1 {
+		// Absorb: the predecessor-direction chain arrives on pred port
+		// (sent by the predecessor toward its successor = us).
+		if msg := recv[m.pred]; msg != nil {
+			m.left = msg.(chainMsg).IDs
+		}
+		if msg := recv[m.succ]; msg != nil {
+			m.right = msg.(chainMsg).IDs
+		}
+	}
+	if step > m.ng.T {
+		// Radius-t window complete: look up the color.
+		w := 2*m.ng.T + 1
+		tuple := make(Tuple, 0, w)
+		for i := len(m.left) - 1; i >= 0; i-- {
+			tuple = append(tuple, m.left[i])
+		}
+		tuple = append(tuple, int(m.env.ID))
+		tuple = append(tuple, m.right...)
+		if len(tuple) != w {
+			panic(fmt.Sprintf("nbrgraph: window has %d IDs, want %d (ring too short?)", len(tuple), w))
+		}
+		idx, ok := m.ng.index[tuple.key()]
+		if !ok {
+			panic(fmt.Sprintf("nbrgraph: window %v not in B_%d(%d) (IDs out of range?)", tuple, m.ng.T, m.ng.M))
+		}
+		m.color = m.coloring[idx]
+		return nil, true
+	}
+	// Forward chains: send to successor the chain (me, my lefts...) and to
+	// predecessor the chain (me, my rights...).
+	toSucc := chainMsg{IDs: append([]int{int(m.env.ID)}, m.left...)}
+	toPred := chainMsg{IDs: append([]int{int(m.env.ID)}, m.right...)}
+	send := make([]sim.Message, 2)
+	send[m.succ] = toSucc
+	send[m.pred] = toPred
+	return send, false
+}
+
+func (m *synth) Output() any { return m.color }

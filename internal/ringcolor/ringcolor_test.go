@@ -1,0 +1,155 @@
+package ringcolor_test
+
+import (
+	"testing"
+
+	"locality/internal/graph"
+	"locality/internal/ids"
+	"locality/internal/lcl"
+	"locality/internal/mathx"
+	"locality/internal/ringcolor"
+	"locality/internal/rng"
+	"locality/internal/sim"
+)
+
+func TestColeVishkinProduces3Coloring(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{3, 4, 5, 8, 33, 128, 1000} {
+		g := graph.Ring(n)
+		inputs, err := ringcolor.RingOrientation(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assignment := ids.Shuffled(n, r)
+		bits := mathx.CeilLog2(n + 1)
+		res, err := sim.Run(g, sim.Config{IDs: assignment, Inputs: inputs},
+			ringcolor.NewColeVishkinFactory(bits))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		colors := sim.IntOutputs(res)
+		if err := lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Rounds != ringcolor.Rounds(bits) {
+			t.Errorf("n=%d: rounds %d, predicted %d", n, res.Rounds, ringcolor.Rounds(bits))
+		}
+	}
+}
+
+func TestColeVishkinLogStarGrowth(t *testing.T) {
+	// Rounds must grow like log* n: single-digit for n up to 2^20 and flat
+	// across doublings.
+	r := rng.New(5)
+	var rounds []int
+	for _, n := range []int{16, 256, 65536} {
+		g := graph.Ring(n)
+		inputs, err := ringcolor.RingOrientation(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := mathx.CeilLog2(n + 1)
+		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), Inputs: inputs},
+			ringcolor.NewColeVishkinFactory(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, res.Rounds)
+		if res.Rounds > 10 {
+			t.Errorf("n=%d: %d rounds, want O(log* n)", n, res.Rounds)
+		}
+	}
+	if rounds[2]-rounds[0] > 3 {
+		t.Errorf("rounds grew too fast across 4096x size increase: %v", rounds)
+	}
+}
+
+func TestColeVishkinAdversarialIDs(t *testing.T) {
+	g := graph.Ring(32)
+	inputs, err := ringcolor.RingOrientation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment := ids.AdversarialGaps(32, 1<<40)
+	res, err := sim.Run(g, sim.Config{IDs: assignment, Inputs: inputs},
+		ringcolor.NewColeVishkinFactory(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := sim.IntOutputs(res)
+	if err := lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnorientedRing3Coloring(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{5, 17, 64, 501} {
+		g := graph.Ring(n)
+		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)},
+			ringcolor.NewUnorientedRing3Factory(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		colors := sim.IntOutputs(res)
+		if err := lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTwoColoringEvenRings(t *testing.T) {
+	r := rng.New(9)
+	for _, n := range []int{4, 10, 64, 200} {
+		g := graph.Ring(n)
+		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)},
+			ringcolor.NewTwoColorFactory())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		colors := sim.IntOutputs(res)
+		if err := lcl.Coloring(2).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Rounds < n/2 {
+			t.Errorf("n=%d: 2-coloring took %d rounds; suspiciously below n/2", n, res.Rounds)
+		}
+	}
+}
+
+func TestDichotomyShape(t *testing.T) {
+	// The Theorem 7 dichotomy, measured: 2-coloring rounds grow linearly,
+	// 3-coloring rounds stay near-constant.
+	r := rng.New(11)
+	type point struct{ two, three int }
+	var pts []point
+	for _, n := range []int{16, 64, 256} {
+		g := graph.Ring(n)
+		res2, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)}, ringcolor.NewTwoColorFactory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs, err := ringcolor.RingOrientation(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res3, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), Inputs: inputs},
+			ringcolor.NewColeVishkinFactory(mathx.CeilLog2(n+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{res2.Rounds, res3.Rounds})
+	}
+	if pts[2].two < 4*pts[0].two-8 {
+		t.Errorf("2-coloring rounds not linear: %v", pts)
+	}
+	if pts[2].three > pts[0].three+3 {
+		t.Errorf("3-coloring rounds not log*: %v", pts)
+	}
+}
+
+func TestRingOrientationRejectsNonRing(t *testing.T) {
+	if _, err := ringcolor.RingOrientation(graph.Path(5)); err == nil {
+		t.Error("orientation of a path accepted")
+	}
+}

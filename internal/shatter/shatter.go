@@ -1,0 +1,176 @@
+// Package shatter provides the measurement side of the graph-shattering
+// arguments in Section VI: component statistics of "bad" vertex sets (the
+// inputs to the Phase-2 deterministic finishes of Theorems 10 and 11), and
+// the distance-k set machinery of Lemma 3, whose counting bound
+// 4^t · n · Δ^{k(t-1)} turns per-vertex failure probabilities into
+// whp-O(log n) component bounds.
+package shatter
+
+import (
+	"fmt"
+	"sort"
+
+	"locality/internal/graph"
+	"locality/internal/mathx"
+)
+
+// Components summarizes the connected components of the subgraph induced by
+// the marked vertices.
+type Components struct {
+	Count int
+	Max   int
+	Total int // marked vertices
+	Sizes []int
+	Stats mathx.Stats
+}
+
+// Analyze measures the components induced by marked.
+func Analyze(g *graph.Graph, marked []bool) Components {
+	sizes := g.ComponentSizes(marked)
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	c := Components{Count: len(sizes), Sizes: sizes, Stats: mathx.SummarizeInts(sizes)}
+	for _, s := range sizes {
+		c.Total += s
+		if s > c.Max {
+			c.Max = s
+		}
+	}
+	return c
+}
+
+// DistanceKSets enumerates the distance-k sets of size t of g, as defined
+// before Lemma 3: pairwise distances at least k, and connected in the
+// auxiliary graph whose edges join vertices at distance exactly k.
+// It panics when the enumeration exceeds budget sets (the bound itself
+// grows as 4^t·n·Δ^{k(t-1)}).
+func DistanceKSets(g *graph.Graph, k, t, budget int) [][]int {
+	if k < 1 || t < 1 {
+		panic(fmt.Sprintf("shatter: DistanceKSets(k=%d, t=%d) invalid", k, t))
+	}
+	n := g.N()
+	// Pairwise distances (bounded to k by early BFS cut would help; exact
+	// BFS per vertex is fine at the intended scales).
+	dist := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist[v] = g.BFS(v)
+	}
+	seen := make(map[string]struct{})
+	var out [][]int
+	var cur []int
+	var rec func()
+	rec = func() {
+		if len(cur) == t {
+			key := canonical(cur)
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			out = append(out, append([]int(nil), cur...))
+			if len(out) > budget {
+				panic(fmt.Sprintf("shatter: over %d distance-%d sets of size %d", budget, k, t))
+			}
+			return
+		}
+		// Extend by any vertex at distance exactly k from some member and
+		// at least k from all members.
+		cands := make(map[int]struct{})
+		for _, u := range cur {
+			for w := 0; w < n; w++ {
+				if dist[u][w] == k {
+					cands[w] = struct{}{}
+				}
+			}
+		}
+		sorted := make([]int, 0, len(cands))
+		for w := range cands {
+			sorted = append(sorted, w)
+		}
+		sort.Ints(sorted)
+		for _, w := range sorted {
+			ok := true
+			for _, u := range cur {
+				if d := dist[u][w]; d >= 0 && d < k {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur = append(cur, w)
+			rec()
+			cur = cur[:len(cur)-1]
+		}
+	}
+	for v := 0; v < n; v++ {
+		cur = append(cur[:0], v)
+		if t == 1 {
+			out = append(out, []int{v})
+			continue
+		}
+		rec()
+	}
+	return out
+}
+
+// canonical returns a sorted key for a vertex set.
+func canonical(set []int) string {
+	s := append([]int(nil), set...)
+	sort.Ints(s)
+	b := make([]byte, 0, 4*len(s))
+	for _, v := range s {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// Lemma3Bound returns the paper's counting bound 4^t · n · Δ^{k(t-1)},
+// saturating at MaxInt64.
+func Lemma3Bound(n, maxDeg, k, t int) int {
+	bound := mathx.PowInt(4, t)
+	bound = satMul(bound, n)
+	bound = satMul(bound, mathx.PowInt(mathx.Max(1, maxDeg), k*(t-1)))
+	return bound
+}
+
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > (1<<62)/b {
+		return 1 << 62
+	}
+	return a * b
+}
+
+// CoversComponent reports whether every connected set of marked vertices of
+// size >= threshold contains a distance-k set of size t — the deduction
+// step the shattering analyses use (a big bad component implies a big
+// distance-5 set of bad vertices). It is used by tests on small graphs to
+// validate the reasoning pattern rather than in production paths.
+func CoversComponent(g *graph.Graph, marked []bool, k, t int) bool {
+	comp := Analyze(g, marked)
+	if comp.Max < (t-1)*k+1 {
+		return false
+	}
+	// A component with at least (t-1)k+1 vertices contains a path of
+	// length (t-1)k in the induced subgraph... not necessarily a path, but
+	// greedy extraction works: repeatedly take a vertex, drop N^{k-1},
+	// staying inside one component; connectivity in G^k follows from
+	// taking them along a BFS tree. This function checks the conclusion
+	// directly by searching for a witness.
+	sets := DistanceKSets(g, k, t, 1<<20)
+	for _, s := range sets {
+		all := true
+		for _, v := range s {
+			if !marked[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package shatter_test
+
+import (
+	"testing"
+
+	"locality/internal/graph"
+	"locality/internal/rng"
+	"locality/internal/shatter"
+)
+
+func TestAnalyze(t *testing.T) {
+	g := graph.Path(10)
+	marked := make([]bool, 10)
+	for _, v := range []int{0, 1, 4, 5, 6, 9} {
+		marked[v] = true
+	}
+	c := shatter.Analyze(g, marked)
+	if c.Count != 3 || c.Max != 3 || c.Total != 6 {
+		t.Errorf("Analyze = %+v, want 3 components, max 3, total 6", c)
+	}
+	if c.Sizes[0] != 3 || c.Sizes[1] != 2 || c.Sizes[2] != 1 {
+		t.Errorf("Sizes = %v, want [3 2 1]", c.Sizes)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	g := graph.Ring(5)
+	c := shatter.Analyze(g, make([]bool, 5))
+	if c.Count != 0 || c.Max != 0 || c.Total != 0 {
+		t.Errorf("empty Analyze = %+v", c)
+	}
+}
+
+func TestDistanceKSetsOnPath(t *testing.T) {
+	// Path 0..6, k=2, t=2: sets {i, i+2} (distance exactly 2, connected in
+	// the distance-2 graph): pairs (0,2),(1,3),(2,4),(3,5),(4,6) = 5.
+	g := graph.Path(7)
+	sets := shatter.DistanceKSets(g, 2, 2, 1<<20)
+	if len(sets) != 5 {
+		t.Fatalf("got %d distance-2 sets of size 2, want 5: %v", len(sets), sets)
+	}
+	for _, s := range sets {
+		d := g.BFS(s[0])
+		if d[s[1]] != 2 {
+			t.Errorf("set %v not at distance exactly 2", s)
+		}
+	}
+}
+
+func TestDistanceKSetsSizeOne(t *testing.T) {
+	g := graph.Ring(6)
+	sets := shatter.DistanceKSets(g, 3, 1, 1<<20)
+	if len(sets) != 6 {
+		t.Errorf("size-1 sets = %d, want n = 6", len(sets))
+	}
+}
+
+func TestDistanceKSetsRespectLemma3Bound(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomTree(60, 4, r)
+		for _, tc := range []struct{ k, t int }{{2, 2}, {2, 3}, {3, 2}, {5, 2}} {
+			sets := shatter.DistanceKSets(g, tc.k, tc.t, 1<<22)
+			bound := shatter.Lemma3Bound(g.N(), g.MaxDegree(), tc.k, tc.t)
+			if len(sets) > bound {
+				t.Errorf("trial %d k=%d t=%d: %d sets exceed Lemma 3 bound %d",
+					trial, tc.k, tc.t, len(sets), bound)
+			}
+		}
+	}
+}
+
+func TestDistanceKSetsPairwiseFar(t *testing.T) {
+	r := rng.New(9)
+	g := graph.RandomTree(50, 3, r)
+	sets := shatter.DistanceKSets(g, 3, 3, 1<<22)
+	for _, s := range sets {
+		for i := 0; i < len(s); i++ {
+			d := g.BFS(s[i])
+			for j := i + 1; j < len(s); j++ {
+				if d[s[j]] >= 0 && d[s[j]] < 3 {
+					t.Fatalf("set %v has pair at distance %d < 3", s, d[s[j]])
+				}
+			}
+		}
+	}
+}
+
+func TestCoversComponent(t *testing.T) {
+	// A long marked path contains a distance-2 pair; a single marked
+	// vertex does not.
+	g := graph.Path(12)
+	marked := make([]bool, 12)
+	for v := 3; v <= 8; v++ {
+		marked[v] = true
+	}
+	if !shatter.CoversComponent(g, marked, 2, 2) {
+		t.Error("6-vertex marked path should contain a distance-2 pair")
+	}
+	single := make([]bool, 12)
+	single[4] = true
+	if shatter.CoversComponent(g, single, 2, 2) {
+		t.Error("single marked vertex cannot contain a size-2 set")
+	}
+}
+
+func TestLemma3BoundSaturates(t *testing.T) {
+	if got := shatter.Lemma3Bound(1<<40, 100, 5, 10); got != 1<<62 {
+		t.Errorf("bound should saturate at 2^62, got %d", got)
+	}
+	if got := shatter.Lemma3Bound(10, 3, 2, 2); got != 16*10*9 {
+		t.Errorf("bound = %d, want %d", got, 16*10*9)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// runConcurrent executes one goroutine per node. Every directed edge is a
+// buffered channel of capacity one; a round is: all nodes send on their
+// out-channels, then all nodes receive on their in-channels. The capacity-1
+// buffering makes the send phase non-blocking, so the round cannot deadlock.
+//
+// Nodes that have halted keep participating in the message rhythm (sending
+// nils) until the whole run stops, which keeps every goroutine in lockstep
+// without per-node liveness negotiation. A coordinator drives rounds via
+// per-node start channels and collects per-round status.
+func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
+	n := g.N()
+	maxDeg := topologyMaxDegree(g)
+
+	// out[v][p] is the channel carrying v's port-p messages; the neighbor u
+	// with reverse port q receives on out[v][p] == in[u][q].
+	out := make([][]chan Message, n)
+	in := make([][]chan Message, n)
+	for v := 0; v < n; v++ {
+		out[v] = make([]chan Message, g.Degree(v))
+		in[v] = make([]chan Message, g.Degree(v))
+		for p := range out[v] {
+			out[v][p] = make(chan Message, 1)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for p := range out[v] {
+			u, rev := g.NeighborPort(v, p)
+			in[u][rev] = out[v][p]
+		}
+	}
+
+	type status struct {
+		node     int
+		justDone bool
+		panicked any
+	}
+	start := make([]chan bool, n) // true = run a round, false = stop
+	statusCh := make(chan status, n)
+	var msgCount atomic.Int64
+
+	var wg sync.WaitGroup
+	outputs := make([]any, n)
+	haltRound := make([]int, n)
+
+	for v := 0; v < n; v++ {
+		start[v] = make(chan bool, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			m := f()
+			m.Init(makeEnv(g, cfg, maxDeg, v))
+			deg := g.Degree(v)
+			recv := make([]Message, deg)
+			done := false
+			round := 0
+			for cont := range start[v] {
+				if !cont {
+					break
+				}
+				round++
+				st := status{node: v}
+				var send []Message
+				if !done {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								st.panicked = r
+								done = true
+							}
+						}()
+						send, done = m.Step(round, recv)
+						if done {
+							st.justDone = true
+						}
+					}()
+					if len(send) > deg {
+						st.panicked = fmt.Sprintf("sim: node %d sent on %d ports but has degree %d", v, len(send), deg)
+					}
+				}
+				// Send phase: one message (possibly nil) per port, always,
+				// so receivers never block waiting for a halted node.
+				for p := 0; p < deg; p++ {
+					var msg Message
+					if p < len(send) {
+						msg = send[p]
+					}
+					if msg != nil {
+						msgCount.Add(1)
+					}
+					out[v][p] <- msg
+				}
+				// Receive phase.
+				for p := 0; p < deg; p++ {
+					recv[p] = <-in[v][p]
+				}
+				statusCh <- st
+			}
+			outputs[v] = m.Output()
+		}(v)
+	}
+
+	stopAll := func() {
+		for v := 0; v < n; v++ {
+			start[v] <- false
+		}
+		wg.Wait()
+	}
+
+	res := &Result{HaltRound: haltRound}
+	live := n
+	for step := 1; live > 0; step++ {
+		if step > cfg.MaxRounds+1 {
+			stopAll()
+			return nil, fmt.Errorf("%w: budget %d, %d nodes still live", ErrMaxRounds, cfg.MaxRounds, live)
+		}
+		res.Rounds = step - 1
+		for v := 0; v < n; v++ {
+			start[v] <- true
+		}
+		for i := 0; i < n; i++ {
+			st := <-statusCh
+			if st.panicked != nil {
+				stopAll()
+				panic(st.panicked)
+			}
+			if st.justDone {
+				haltRound[st.node] = step - 1
+				live--
+			}
+		}
+	}
+	stopAll()
+
+	res.Outputs = outputs
+	res.MessagesSent = msgCount.Load()
+	return res, nil
+}

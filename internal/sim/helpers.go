@@ -1,0 +1,70 @@
+package sim
+
+import "fmt"
+
+// RunDet runs a DetLOCAL execution: unique IDs, no randomness.
+func RunDet(g Topology, assignment []uint64, f Factory) (*Result, error) {
+	return Run(g, Config{IDs: assignment}, f)
+}
+
+// RunRand runs a RandLOCAL execution: no IDs, private random streams.
+func RunRand(g Topology, seed uint64, f Factory) (*Result, error) {
+	return Run(g, Config{Randomized: true, Seed: seed}, f)
+}
+
+// IntOutputs converts a result's outputs to ints. It panics with the vertex
+// index if any output has a different dynamic type, which in this library
+// indicates a bug in the Machine, not bad input.
+func IntOutputs(res *Result) []int {
+	out := make([]int, len(res.Outputs))
+	for v, o := range res.Outputs {
+		x, ok := o.(int)
+		if !ok {
+			panic(fmt.Sprintf("sim: output of node %d is %T, want int", v, o))
+		}
+		out[v] = x
+	}
+	return out
+}
+
+// FuncMachine adapts closures to the Machine interface; it keeps tests and
+// small experimental algorithms compact.
+type FuncMachine struct {
+	// OnInit may be nil.
+	OnInit func(env Env)
+	// OnStep must be non-nil.
+	OnStep func(round int, recv []Message) ([]Message, bool)
+	// OnOutput may be nil (output is then nil).
+	OnOutput func() any
+}
+
+var _ Machine = (*FuncMachine)(nil)
+
+// Init implements Machine.
+func (m *FuncMachine) Init(env Env) {
+	if m.OnInit != nil {
+		m.OnInit(env)
+	}
+}
+
+// Step implements Machine.
+func (m *FuncMachine) Step(round int, recv []Message) ([]Message, bool) {
+	return m.OnStep(round, recv)
+}
+
+// Output implements Machine.
+func (m *FuncMachine) Output() any {
+	if m.OnOutput != nil {
+		return m.OnOutput()
+	}
+	return nil
+}
+
+// Broadcast fills a fresh send slice with the same message on every port.
+func Broadcast(degree int, msg Message) []Message {
+	send := make([]Message, degree)
+	for p := range send {
+		send[p] = msg
+	}
+	return send
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "fmt"
+
+// runSequential executes all nodes in index order within one goroutine,
+// double-buffering the per-port inboxes. It is the deterministic fast path
+// used by benchmarks.
+func runSequential(g Topology, cfg Config, f Factory) (*Result, error) {
+	n := g.N()
+	maxDeg := topologyMaxDegree(g)
+
+	machines := make([]Machine, n)
+	inboxCur := make([][]Message, n)
+	inboxNext := make([][]Message, n)
+	done := make([]bool, n)
+	haltRound := make([]int, n)
+	for v := 0; v < n; v++ {
+		machines[v] = f()
+		machines[v].Init(makeEnv(g, cfg, maxDeg, v))
+		inboxCur[v] = make([]Message, g.Degree(v))
+		inboxNext[v] = make([]Message, g.Degree(v))
+	}
+
+	res := &Result{HaltRound: haltRound}
+	live := n
+	for step := 1; live > 0; step++ {
+		if step > cfg.MaxRounds+1 {
+			return nil, fmt.Errorf("%w: budget %d, %d nodes still live", ErrMaxRounds, cfg.MaxRounds, live)
+		}
+		res.Rounds = step - 1
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			send, nodeDone := machines[v].Step(step, inboxCur[v])
+			if len(send) > g.Degree(v) {
+				panic(fmt.Sprintf("sim: node %d sent on %d ports but has degree %d", v, len(send), g.Degree(v)))
+			}
+			for p := 0; p < len(send); p++ {
+				if send[p] == nil {
+					continue
+				}
+				u, rev := g.NeighborPort(v, p)
+				inboxNext[u][rev] = send[p]
+				res.MessagesSent++
+			}
+			if nodeDone {
+				done[v] = true
+				haltRound[v] = step - 1
+				live--
+			}
+		}
+		// Swap buffers; clear the new next.
+		inboxCur, inboxNext = inboxNext, inboxCur
+		for v := 0; v < n; v++ {
+			clearMessages(inboxNext[v])
+		}
+	}
+
+	res.Outputs = make([]any, n)
+	for v := 0; v < n; v++ {
+		res.Outputs[v] = machines[v].Output()
+	}
+	return res, nil
+}
+
+func clearMessages(ms []Message) {
+	for i := range ms {
+		ms[i] = nil
+	}
+}

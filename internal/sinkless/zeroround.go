@@ -1,0 +1,133 @@
+package sinkless
+
+import (
+	"fmt"
+
+	"locality/internal/sim"
+)
+
+// This file makes the base case of Theorem 4 executable and exactly
+// checkable. A 0-round RandLOCAL algorithm on a Δ-regular edge-colored
+// graph colors each vertex independently: since the vertices are
+// undifferentiated (no IDs; every vertex sees the same multiset of incident
+// edge colors {1..Δ}), the strategy is a distribution p over {1..Δ} — up to
+// the port order of the edge colors, which an adversarial instance
+// neutralizes. For an edge e with ψ(e)=c, the forbidden configuration
+// probability is p(c)² under a port-symmetric strategy, so the worst edge
+// fails with probability max_c p(c)² >= 1/Δ², with equality exactly at the
+// uniform distribution. That 1/Δ² is the floor the round-elimination
+// argument of Theorem 4 bottoms out against.
+
+// ZeroRoundWorstEdgeFailure returns max_c p(c)²: the failure probability of
+// the worst-case edge under the vertex strategy p (p must sum to ~1).
+func ZeroRoundWorstEdgeFailure(p []float64) float64 {
+	var sum, worst float64
+	for _, x := range p {
+		if x < 0 {
+			panic("sinkless: negative probability")
+		}
+		sum += x
+		if x*x > worst {
+			worst = x * x
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		panic(fmt.Sprintf("sinkless: probabilities sum to %v", sum))
+	}
+	return worst
+}
+
+// ZeroRoundLowerBound returns the Theorem 4 floor 1/Δ².
+func ZeroRoundLowerBound(delta int) float64 {
+	return 1 / float64(delta*delta)
+}
+
+// ZeroRoundMinimax grid-searches distributions over {1..Δ} (step 1/grid)
+// and returns the smallest achievable worst-edge failure probability and
+// the best distribution found. The optimum is the uniform distribution
+// with value exactly 1/Δ²; the experiment table shows the search agreeing.
+func ZeroRoundMinimax(delta, grid int) (float64, []float64) {
+	if delta < 1 || grid < delta {
+		panic(fmt.Sprintf("sinkless: ZeroRoundMinimax(delta=%d, grid=%d) invalid", delta, grid))
+	}
+	best := 2.0
+	var bestP []float64
+	// Enumerate compositions of grid into delta non-negative parts.
+	comp := make([]int, delta)
+	var rec func(idx, remaining int)
+	rec = func(idx, remaining int) {
+		if idx == delta-1 {
+			comp[idx] = remaining
+			worst := 0
+			for _, c := range comp {
+				if c > worst {
+					worst = c
+				}
+			}
+			val := float64(worst) * float64(worst) / (float64(grid) * float64(grid))
+			if val < best {
+				best = val
+				bestP = make([]float64, delta)
+				for i, c := range comp {
+					bestP[i] = float64(c) / float64(grid)
+				}
+			}
+			return
+		}
+		for c := remaining; c >= 0; c-- {
+			comp[idx] = c
+			rec(idx+1, remaining-c)
+			// Prune: max component so far already >= best.
+		}
+	}
+	rec(0, grid)
+	return best, bestP
+}
+
+// NewZeroRoundFactory returns the 0-round sinkless-coloring machine that
+// plays the distribution p (1-indexed colors; p[i] is the probability of
+// color i+1). With the uniform p this is the optimal 0-round strategy;
+// experiment E4 measures its failure frequency against 1/Δ².
+func NewZeroRoundFactory(p []float64) sim.Factory {
+	return func() sim.Machine {
+		return &zeroRound{p: p}
+	}
+}
+
+type zeroRound struct {
+	p     []float64
+	color int
+}
+
+var _ sim.Machine = (*zeroRound)(nil)
+
+func (m *zeroRound) Init(env sim.Env) {
+	if env.Rand == nil {
+		panic("sinkless: 0-round machine requires Config.Randomized")
+	}
+	x := env.Rand.Float64()
+	acc := 0.0
+	m.color = len(m.p) // fallback for floating-point tail
+	for i, pi := range m.p {
+		acc += pi
+		if x < acc {
+			m.color = i + 1
+			break
+		}
+	}
+}
+
+func (m *zeroRound) Step(step int, recv []sim.Message) ([]sim.Message, bool) {
+	return nil, true // zero rounds: output is a function of Env alone
+}
+
+func (m *zeroRound) Output() any { return m.color }
+
+// Uniform returns the uniform distribution over {1..Δ}.
+func Uniform(delta int) []float64 {
+	p := make([]float64, delta)
+	for i := range p {
+		p[i] = 1 / float64(delta)
+	}
+	return p
+}

@@ -1,0 +1,218 @@
+package speedup_test
+
+import (
+	"testing"
+
+	"locality/internal/forest"
+	"locality/internal/graph"
+	"locality/internal/ids"
+	"locality/internal/lcl"
+	"locality/internal/linial"
+	"locality/internal/mathx"
+	"locality/internal/rng"
+	"locality/internal/sim"
+	"locality/internal/speedup"
+	"locality/internal/view"
+)
+
+func TestSlowColoringBaseline(t *testing.T) {
+	// The demonstration target: correct (Δ+1)-coloring whose rounds carry
+	// an ℓ-dependent idle term.
+	r := rng.New(3)
+	delta := 4
+	mk := speedup.NewSlowColoringFactory(delta, 1, 8) // ε = 1/8
+	tBound := speedup.SlowColoringRounds(delta, 1, 8)
+	for _, n := range []int{64, 1024} {
+		g := graph.RandomTree(n, delta, r)
+		bits := mathx.CeilLog2(n + 1)
+		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 100000}, mk(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := sim.IntOutputs(res)
+		if err := lcl.Coloring(delta+1).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Rounds != tBound(delta, bits) {
+			t.Errorf("n=%d: rounds %d, bound %d", n, res.Rounds, tBound(delta, bits))
+		}
+	}
+}
+
+func TestTheorem6TransformCorrectAndIDIndependent(t *testing.T) {
+	// The transformed algorithm must still produce a valid (Δ+1)-coloring,
+	// with a round count that is a function of Δ alone (plus the log*-ish
+	// collection), NOT of the original ID length.
+	r := rng.New(7)
+	delta := 4
+	mk := speedup.NewSlowColoringFactory(delta, 1, 8)
+	tBound := speedup.SlowColoringRounds(delta, 1, 8)
+
+	var transformedRounds []int
+	for _, n := range []int{64, 512} {
+		g := graph.RandomTree(n, delta, r)
+		bits := mathx.CeilLog2(n + 1)
+		plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
+		factory := speedup.NewTheorem6Factory(plan, bits, mk(plan.BitsOut))
+		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 100000}, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := sim.IntOutputs(res)
+		if err := lcl.Coloring(delta+1).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			t.Fatalf("n=%d: transformed coloring invalid: %v", n, err)
+		}
+		transformedRounds = append(transformedRounds, res.Rounds)
+		// Predicted: R (collection) + inner rounds under ℓ'-bit IDs.
+		want := plan.R + plan.InnerT
+		if res.Rounds != want {
+			t.Errorf("n=%d: rounds %d, predicted %d", n, res.Rounds, want)
+		}
+		t.Logf("n=%d: slow=%d rounds, transformed=%d (R=%d, ℓ'=%d)",
+			n, tBound(delta, bits), res.Rounds, plan.R, plan.BitsOut)
+	}
+	// n-independence of the transformed inner runtime: across the sweep,
+	// the ℓ' (and hence inner) part must be identical; only the log*-ish
+	// collection radius may differ, and barely.
+	if mathx.Abs(transformedRounds[0]-transformedRounds[1]) > 10 {
+		t.Errorf("transformed rounds vary too much with n: %v", transformedRounds)
+	}
+}
+
+func TestTheorem6SlopeComparison(t *testing.T) {
+	// The honest shape of Theorem 6 at simulable scales: the slow
+	// algorithm's round count grows linearly in ℓ = log n while the
+	// transformed algorithm's is ℓ-independent. (The absolute crossover
+	// sits beyond 2^62-bit IDs for this inner algorithm — the transform's
+	// constants are those of the paper's proof; EXPERIMENTS.md discusses
+	// this.) Verify the slopes: slow strictly grows across ℓ, transformed
+	// is exactly flat.
+	delta := 4
+	tBound := speedup.SlowColoringRounds(delta, 1, 2) // ε = 1/2
+	var slowR, transR, bitsOut []int
+	for _, bits := range []int{56, 58, 60, 62} {
+		plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
+		slowR = append(slowR, tBound(delta, bits))
+		transR = append(transR, plan.R+plan.InnerT)
+		bitsOut = append(bitsOut, plan.BitsOut)
+	}
+	// Slow grows with ℓ.
+	if !(slowR[0] < slowR[len(slowR)-1]) {
+		t.Errorf("slow rounds not growing in ℓ: %v", slowR)
+	}
+	// The transform compresses the IDs (ℓ' < ℓ) in this regime...
+	for i, b := range bitsOut {
+		if b >= []int{56, 58, 60, 62}[i] {
+			t.Errorf("no ID compression at ℓ=%d: ℓ'=%d", []int{56, 58, 60, 62}[i], b)
+		}
+	}
+	// ...and ℓ' (hence the transformed round count) is flat across ℓ —
+	// the n-independence that makes the transform win for n beyond any
+	// simulable scale (EXPERIMENTS.md quantifies the crossover).
+	for i := 1; i < len(transR); i++ {
+		if transR[i] != transR[0] {
+			t.Errorf("transformed rounds not flat across ℓ: %v", transR)
+		}
+		if bitsOut[i] != bitsOut[0] {
+			t.Errorf("ℓ' not flat across ℓ: %v", bitsOut)
+		}
+	}
+	t.Logf("ℓ=56..62: slow=%v transformed=%v ℓ'=%v", slowR, transR, bitsOut)
+}
+
+func TestTheorem5RandFromDet(t *testing.T) {
+	// A DetLOCAL tree 3-coloring becomes RandLOCAL: random 40-bit names,
+	// one power-graph Linial step, then the deterministic forest machine
+	// with compressed IDs. With 40-bit names collisions are negligible and
+	// the output must be a valid 3-coloring.
+	r := rng.New(11)
+	n := 48
+	g := graph.RandomTree(n, 3, r)
+	palette := speedup.Theorem5Palette(40, n)
+	fopt := forest.Options{Q: 3, SizeBound: n, IDSpace: palette}
+	tDet := forest.NewPlan(fopt.Resolve(n)).Rounds()
+	factory := speedup.NewTheorem5Factory(tDet, 40, n, g.MaxDegree(), forest.NewFactory(fopt))
+	res, err := sim.Run(g, sim.Config{Randomized: true, Seed: 13, MaxRounds: 1 << 20}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := sim.IntOutputs(res)
+	if err := lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+		t.Fatal(err)
+	}
+	// Round cost: (2t+1) collection + t simulation = O(t).
+	want := (2*tDet + 1) + tDet
+	if res.Rounds != want {
+		t.Errorf("rounds %d, want %d", res.Rounds, want)
+	}
+}
+
+func TestTheorem5CollisionsAreVisible(t *testing.T) {
+	// With 2-bit names on 24 vertices collisions are certain; the run must
+	// produce a verifier-detectable failure (or, with luck on tiny
+	// components, still succeed) — never panic.
+	r := rng.New(17)
+	n := 24
+	g := graph.RandomTree(n, 3, r)
+	palette := speedup.Theorem5Palette(2, n)
+	fopt := forest.Options{Q: 3, SizeBound: n, IDSpace: palette}
+	tDet := forest.NewPlan(fopt.Resolve(n)).Rounds()
+	factory := speedup.NewTheorem5Factory(tDet, 2, n, g.MaxDegree(), forest.NewFactory(fopt))
+	fails := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		res, err := sim.Run(g, sim.Config{Randomized: true, Seed: uint64(i), MaxRounds: 1 << 20}, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := sim.IntOutputs(res)
+		if err := lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)); err != nil {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("2-bit names never failed on 24 vertices; collision path untested")
+	}
+}
+
+func TestPowerLinialIDUniqueWithinD(t *testing.T) {
+	// Collect generous balls and check the computed short IDs are distinct
+	// within distance D for every vertex pair.
+	r := rng.New(19)
+	g := graph.RandomTree(40, 3, r)
+	assignment := ids.Shuffled(40, r)
+	const d = 3
+	idSpace := 64
+	deltaPow := 3 * 2 * 2 // Δ(Δ-1)^(D-1)
+	radius := mathx.Max(1, d*len(linial.Schedule(idSpace, deltaPow)))
+	res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 100000},
+		view.NewCollectMachineFactory(radius, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortIDs := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		ball := res.Outputs[v].(*view.Ball)
+		color, fp := speedup.PowerLinialID(ball, d, idSpace, deltaPow)
+		if color < 0 || color >= fp {
+			t.Fatalf("vertex %d short ID %d outside palette %d", v, color, fp)
+		}
+		shortIDs[v] = color
+	}
+	dist := allPairsDist(g)
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if dist[u][v] <= d && dist[u][v] >= 1 && shortIDs[u] == shortIDs[v] {
+				t.Fatalf("vertices %d,%d at distance %d share short ID %d", u, v, dist[u][v], shortIDs[u])
+			}
+		}
+	}
+}
+
+func allPairsDist(g *graph.Graph) [][]int {
+	out := make([][]int, g.N())
+	for v := range out {
+		out[v] = g.BFS(v)
+	}
+	return out
+}

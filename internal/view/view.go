@@ -1,0 +1,426 @@
+// Package view implements radius-t view collection and exact local
+// re-execution — the executable form of the indistinguishability principle
+// that drives the paper's meta-results.
+//
+// A t-round LOCAL algorithm's output at a vertex is a function of the
+// vertex's radius-t view. This package makes both directions concrete:
+//
+//   - Collector is a (sub-)machine that gathers the radius-t ball of every
+//     vertex in exactly t communication rounds, using names (IDs) to stitch
+//     flooded records together.
+//   - Ball.SimulateCenter re-executes an arbitrary Machine on a collected
+//     ball and reproduces the center's t-round output exactly. This is what
+//     lets the speedup transforms (Theorems 6 and 8) and the Theorem 5
+//     construction "run algorithm A pretending the graph is different",
+//     and what the derandomizer uses to evaluate candidate bit functions.
+//
+// Exactness argument (mirrored in the tests): the center's state after step
+// t+1 depends on the step-(t+1-k) states of vertices at distance k, down to
+// the step-1 states of vertices at distance t, which are functions of their
+// initial environment alone. The collector therefore records full port
+// wiring for vertices at distance <= t-1 and, for boundary vertices at
+// distance exactly t, their environment plus the ports facing inward
+// (learned from the step-1 messages, which carry the sender's port index).
+// That is precisely enough to replay every message that can causally reach
+// the center within t rounds.
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"locality/internal/rng"
+	"locality/internal/sim"
+)
+
+// PortLink describes one port of an enriched record: the neighbor's name and
+// the port index of the same edge on the neighbor's side.
+type PortLink struct {
+	Name uint64
+	Back int
+}
+
+// Record is a vertex's self-description as flooded during collection.
+// Ports is nil for a "bare" record (boundary vertex whose wiring was not yet
+// learned).
+type Record struct {
+	Name   uint64
+	Degree int
+	Input  any
+	Ports  []PortLink
+}
+
+// enriched reports whether the record carries port wiring.
+func (r Record) enriched() bool { return r.Ports != nil }
+
+// stepOneMsg is the first-round payload: the bare record plus the sender's
+// port index for this edge, which is what lets receivers reconstruct
+// boundary wiring.
+type stepOneMsg struct {
+	Rec        Record
+	SenderPort int
+}
+
+// floodMsg is the payload of all later rounds: everything the sender knows.
+type floodMsg struct {
+	Recs []Record
+}
+
+// Collector gathers the radius-T ball of one vertex. It is written as an
+// embeddable phase: composite machines call Step and, when it reports done,
+// read Ball. Use AsMachine for a standalone run.
+//
+// The collector occupies steps 1..T+1 of its machine's life (T communication
+// rounds; the final step only absorbs the last messages).
+type Collector struct {
+	t     int
+	env   sim.Env
+	name  uint64
+	known map[uint64]Record
+}
+
+// NewCollector returns a collector for radius t at a vertex whose unique
+// name is name. In DetLOCAL, name is the ID; RandLOCAL callers generate
+// names from random bits first (as Theorem 5 prescribes).
+func NewCollector(t int, name uint64, env sim.Env) *Collector {
+	if t < 0 {
+		panic(fmt.Sprintf("view: negative radius %d", t))
+	}
+	c := &Collector{t: t, env: env, name: name, known: make(map[uint64]Record)}
+	c.known[name] = Record{Name: name, Degree: env.Degree, Input: env.Input}
+	return c
+}
+
+// Step advances the collection by one simulator step. The step argument must
+// be 1 on the first call and increase by one per call; composite machines
+// embedding a collector mid-life pass their own normalized phase step.
+func (c *Collector) Step(step int, recv []sim.Message) (send []sim.Message, done bool) {
+	c.absorb(step, recv)
+	if step > c.t {
+		return nil, true
+	}
+	if step == 1 {
+		send = make([]sim.Message, c.env.Degree)
+		self := c.known[c.name]
+		for p := range send {
+			send[p] = stepOneMsg{Rec: Record{Name: self.Name, Degree: self.Degree, Input: self.Input}, SenderPort: p}
+		}
+		return send, false
+	}
+	// Flood everything known, in deterministic order (map iteration order
+	// must not leak into messages: the engines are compared byte-for-byte).
+	recs := make([]Record, 0, len(c.known))
+	for _, r := range c.known {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	msg := floodMsg{Recs: recs}
+	send = make([]sim.Message, c.env.Degree)
+	for p := range send {
+		send[p] = msg
+	}
+	return send, false
+}
+
+// absorb merges received records; step-1 messages additionally wire up the
+// collector's own port links.
+func (c *Collector) absorb(step int, recv []sim.Message) {
+	if step == 2 {
+		// The step-1 messages (consumed now) define our own port wiring.
+		self := c.known[c.name]
+		self.Ports = make([]PortLink, c.env.Degree)
+		for p, m := range recv {
+			som, ok := m.(stepOneMsg)
+			if !ok {
+				panic(fmt.Sprintf("view: expected stepOneMsg on port %d, got %T", p, m))
+			}
+			self.Ports[p] = PortLink{Name: som.Rec.Name, Back: som.SenderPort}
+			c.merge(som.Rec)
+		}
+		c.known[c.name] = self
+		return
+	}
+	for _, m := range recv {
+		if m == nil {
+			continue
+		}
+		fm, ok := m.(floodMsg)
+		if !ok {
+			panic(fmt.Sprintf("view: expected floodMsg, got %T", m))
+		}
+		for _, r := range fm.Recs {
+			c.merge(r)
+		}
+	}
+}
+
+// merge keeps the most informative record per name.
+func (c *Collector) merge(r Record) {
+	old, exists := c.known[r.Name]
+	if !exists || (!old.enriched() && r.enriched()) {
+		c.known[r.Name] = r
+	}
+}
+
+// Ball assembles the radius-T ball once collection is done.
+func (c *Collector) Ball() *Ball {
+	return buildBall(c.t, c.name, c.known)
+}
+
+// Rounds returns the number of communication rounds the collection costs.
+func (c *Collector) Rounds() int { return c.t }
+
+// collectMachine wraps a Collector as a standalone Machine whose output is
+// the *Ball.
+type collectMachine struct {
+	t    int
+	name func(env sim.Env) uint64
+	c    *Collector
+}
+
+// NewCollectMachineFactory returns a Factory for standalone radius-t
+// collection; name extracts each vertex's unique name from its Env (the
+// default, when nil, uses Env.ID).
+func NewCollectMachineFactory(t int, name func(env sim.Env) uint64) sim.Factory {
+	if name == nil {
+		name = func(env sim.Env) uint64 { return env.ID }
+	}
+	return func() sim.Machine {
+		return &collectMachine{t: t, name: name}
+	}
+}
+
+var _ sim.Machine = (*collectMachine)(nil)
+
+func (m *collectMachine) Init(env sim.Env) {
+	m.c = NewCollector(m.t, m.name(env), env)
+}
+
+func (m *collectMachine) Step(step int, recv []sim.Message) ([]sim.Message, bool) {
+	return m.c.Step(step, recv)
+}
+
+func (m *collectMachine) Output() any { return m.c.Ball() }
+
+// Ball is a collected radius-T view. Local vertex 0 is the center. Records
+// of vertices at distance <= T-1 are enriched (full port wiring); records at
+// distance exactly T may be bare except for the inward ports learned from
+// their step-1 messages.
+type Ball struct {
+	T    int
+	Dist []int
+	Recs []Record
+	// adj[u][p] = local index of u's port-p neighbor, or -1 when that
+	// neighbor is outside the ball or unknown. Entries exist only for ports
+	// with known wiring; adj[u] is nil for vertices with no known wiring.
+	adj [][]int
+	// index maps names to local indices.
+	index map[uint64]int
+}
+
+// N returns the number of vertices in the ball.
+func (b *Ball) N() int { return len(b.Recs) }
+
+// LocalIndex returns the local index of the vertex with the given name,
+// or -1 if it is not in the ball.
+func (b *Ball) LocalIndex(name uint64) int {
+	if i, ok := b.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// buildBall BFS-explores the known records from the center, keeping vertices
+// within distance t, and wires local adjacency.
+func buildBall(t int, center uint64, known map[uint64]Record) *Ball {
+	b := &Ball{T: t, index: make(map[uint64]int)}
+	// BFS over names.
+	type item struct {
+		name uint64
+		dist int
+	}
+	queue := []item{{center, 0}}
+	b.index[center] = 0
+	b.Recs = append(b.Recs, known[center])
+	b.Dist = append(b.Dist, 0)
+	for qi := 0; qi < len(queue); qi++ {
+		it := queue[qi]
+		rec := known[it.name]
+		if it.dist >= t || !rec.enriched() {
+			continue
+		}
+		for _, pl := range rec.Ports {
+			if _, seen := b.index[pl.Name]; seen {
+				continue
+			}
+			nrec, ok := known[pl.Name]
+			if !ok {
+				// Known name but no record: can happen only beyond the
+				// collection horizon; skip (outside ball).
+				continue
+			}
+			b.index[pl.Name] = len(b.Recs)
+			b.Recs = append(b.Recs, nrec)
+			b.Dist = append(b.Dist, it.dist+1)
+			queue = append(queue, item{pl.Name, it.dist + 1})
+		}
+	}
+	// Wire adjacency from enriched records; bare boundary records get their
+	// inward ports wired from the neighbor side (using Back indices).
+	b.adj = make([][]int, len(b.Recs))
+	for u := range b.Recs {
+		rec := b.Recs[u]
+		if !rec.enriched() {
+			continue
+		}
+		b.adj[u] = make([]int, len(rec.Ports))
+		for p, pl := range rec.Ports {
+			if w, ok := b.index[pl.Name]; ok {
+				b.adj[u][p] = w
+			} else {
+				b.adj[u][p] = -1
+			}
+		}
+	}
+	for u := range b.Recs {
+		rec := b.Recs[u]
+		if !rec.enriched() {
+			continue
+		}
+		for _, pl := range rec.Ports {
+			w, ok := b.index[pl.Name]
+			if !ok {
+				continue
+			}
+			if b.adj[w] == nil {
+				b.adj[w] = makeFilled(b.Recs[w].Degree, -1)
+			}
+			if pl.Back >= 0 && pl.Back < len(b.adj[w]) {
+				b.adj[w][pl.Back] = u
+			}
+		}
+	}
+	return b
+}
+
+func makeFilled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// SimOptions configures a local re-execution.
+type SimOptions struct {
+	// N and MaxDeg are the global parameters handed to the simulated nodes;
+	// the transforms deliberately lie here ("assume the graph size is
+	// 2^ℓ'"), which is the whole point.
+	N      int
+	MaxDeg int
+	// Steps bounds the re-execution. For exact center outputs it must be at
+	// most T+1 (T communication rounds plus the free output step).
+	Steps int
+	// UseIDs passes each record's Name as the node ID.
+	UseIDs bool
+	// RandFor, when non-nil, supplies the private stream of the simulated
+	// node with the given name; required to replay randomized machines.
+	RandFor func(name uint64) *rng.Source
+}
+
+// SimulateCenter re-executes the machine on the ball and returns the
+// center's output and the number of communication rounds it used. An error
+// is returned if the center has not halted within opt.Steps steps.
+func (b *Ball) SimulateCenter(f sim.Factory, opt SimOptions) (any, int, error) {
+	if opt.Steps <= 0 {
+		opt.Steps = b.T + 1
+	}
+	if opt.Steps > b.T+1 {
+		return nil, 0, fmt.Errorf("view: %d steps exceed exactness horizon %d of a radius-%d ball", opt.Steps, b.T+1, b.T)
+	}
+	n := b.N()
+	machines := make([]sim.Machine, n)
+	for u := 0; u < n; u++ {
+		rec := b.Recs[u]
+		env := sim.Env{
+			Node:   -1, // simulated nodes have no host index
+			N:      opt.N,
+			MaxDeg: opt.MaxDeg,
+			Degree: rec.Degree,
+			Input:  rec.Input,
+		}
+		if opt.UseIDs {
+			env.ID = rec.Name
+			env.HasID = true
+		}
+		if opt.RandFor != nil {
+			env.Rand = opt.RandFor(rec.Name)
+		}
+		machines[u] = f()
+		machines[u].Init(env)
+	}
+	inboxCur := make([][]sim.Message, n)
+	inboxNext := make([][]sim.Message, n)
+	done := make([]bool, n)
+	for u := 0; u < n; u++ {
+		inboxCur[u] = make([]sim.Message, b.Recs[u].Degree)
+		inboxNext[u] = make([]sim.Message, b.Recs[u].Degree)
+	}
+	for step := 1; step <= opt.Steps; step++ {
+		for u := 0; u < n; u++ {
+			if done[u] {
+				continue
+			}
+			send, nodeDone := machines[u].Step(step, inboxCur[u])
+			if nodeDone {
+				done[u] = true
+				if u == 0 {
+					return machines[0].Output(), step - 1, nil
+				}
+			}
+			if b.adj[u] == nil {
+				continue // wiring unknown; messages cannot reach the center in time anyway
+			}
+			for p := 0; p < len(send) && p < len(b.adj[u]); p++ {
+				if send[p] == nil {
+					continue
+				}
+				w := b.adj[u][p]
+				if w < 0 {
+					continue
+				}
+				// Find the reverse port: the port q of w with adj[w][q] == u
+				// and matching edge. Recover it from w's record if enriched,
+				// else from the inward wiring.
+				q := b.reversePort(u, p, w)
+				if q >= 0 {
+					inboxNext[w][q] = send[p]
+				}
+			}
+		}
+		inboxCur, inboxNext = inboxNext, inboxCur
+		for u := range inboxNext {
+			for i := range inboxNext[u] {
+				inboxNext[u][i] = nil
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("view: center did not halt within %d steps", opt.Steps)
+}
+
+// reversePort returns the port of w that faces u's port p, or -1 if unknown.
+func (b *Ball) reversePort(u, p, w int) int {
+	if rec := b.Recs[u]; rec.enriched() {
+		return rec.Ports[p].Back
+	}
+	// u is a bare boundary vertex: its inward wiring was set from w's side,
+	// so search w's ports for u.
+	for q, x := range b.adj[w] {
+		if x == u {
+			if wrec := b.Recs[w]; wrec.enriched() && wrec.Ports[q].Back == p {
+				return q
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race-kernel bench experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Robustness gate (CI): vet the whole module, then run the simulator kernel
+# and fault-injection suites under the race detector — these are the packages
+# that exercise goroutine-per-node execution, cancellation and abort paths.
+race-kernel:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim/... ./internal/fault/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Regenerate the full-scale EXPERIMENTS.md tables (takes minutes).
+experiments:
+	$(GO) run ./cmd/localbench

@@ -149,14 +149,26 @@ func benchKernel(b *testing.B, engine locality.Engine) {
 	}
 }
 
-// BenchmarkE12Indistinguishability reproduces the high-girth-balls-are-trees
-// check.
-func BenchmarkE12Indistinguishability(b *testing.B) {
+// BenchmarkE12FaultTolerance reproduces the graceful-degradation table
+// (fault plans vs constraint satisfaction and retry attempts).
+func BenchmarkE12FaultTolerance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, ok := harness.ByIDSupplementary("E12"); !ok {
+		driver, ok := harness.ByIDSupplementary("E12")
+		if !ok {
 			b.Fatal("E12 missing")
 		}
-		driver, _ := harness.ByIDSupplementary("E12")
+		driver(harness.Config{Quick: true, Seed: 2016})
+	}
+}
+
+// BenchmarkE13Indistinguishability reproduces the high-girth-balls-are-trees
+// check.
+func BenchmarkE13Indistinguishability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		driver, ok := harness.ByIDSupplementary("E13")
+		if !ok {
+			b.Fatal("E13 missing")
+		}
 		driver(harness.Config{Quick: true, Seed: 2016})
 	}
 }

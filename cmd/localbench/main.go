@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	localbench [-experiment=E1|...|E11|all] [-quick] [-seed N] [-format text|csv|markdown]
+//	localbench [-experiment=E1|...|E13|all] [-quick] [-seed N] [-format text|csv|markdown]
 //
 // Full mode (the default) matches the EXPERIMENTS.md record and takes a few
 // minutes; -quick shrinks every sweep to run in seconds.
@@ -25,7 +25,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1..E12, A1..A3) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (E1..E13, A1..A3) or 'all'")
 		quick      = flag.Bool("quick", false, "shrink sweeps to run in seconds")
 		seed       = flag.Uint64("seed", 2016, "random seed for all experiments")
 		format     = flag.String("format", "text", "output format: text, csv or markdown")
@@ -43,7 +43,7 @@ func run() int {
 			driver, ok = harness.ByIDSupplementary(strings.ToUpper(*experiment))
 		}
 		if !ok {
-			fmt.Fprintf(os.Stderr, "localbench: unknown experiment %q (want E1..E12, A1..A3 or all)\n", *experiment)
+			fmt.Fprintf(os.Stderr, "localbench: unknown experiment %q (want E1..E13, A1..A3 or all)\n", *experiment)
 			return 2
 		}
 		tables = []*harness.Table{driver(cfg)}

@@ -1,0 +1,217 @@
+// Package fault is the off-model fault-injection layer: a deterministic,
+// seeded Plan that wraps any sim.Factory (over its sim.Topology) and
+// perturbs a run with the classic distributed failure modes — crash-stop
+// nodes, per-edge message drops, and duplication/stale redelivery.
+//
+// The LOCAL model of the paper has none of these faults: rounds are
+// synchronous and every message is delivered exactly once. Injection exists
+// purely as instrumentation, to measure how the paper's Monte-Carlo
+// algorithms (Theorems 10–11, Luby MIS, sinkless orientation) degrade when
+// run off-model — the sensitivity-analysis companion to the in-model
+// failure probabilities the paper trades off in Theorem 5.
+//
+// Every injection decision is a pure function of (Plan, node, port, round)
+// via the library's SplitMix64 mixer, so a faulty run is exactly as
+// reproducible as a fault-free one: the same Plan and run seed produce
+// byte-identical sim.Results on both engines.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"locality/internal/rng"
+	"locality/internal/sim"
+)
+
+// Domain separators for the injection decision streams, so the crash, drop
+// and duplication choices are independent even under the same Plan.Seed.
+const (
+	saltCrash uint64 = 0xC4A5_0001
+	saltDrop  uint64 = 0xD409_0002
+	saltDup   uint64 = 0xD4B1_0003
+)
+
+// Plan is a deterministic fault-injection schedule. The zero value injects
+// nothing (Wrap returns a pass-through factory).
+type Plan struct {
+	// Seed drives every injection decision. Two plans with the same
+	// probabilities but different seeds crash different nodes and drop
+	// different messages.
+	Seed uint64
+	// Crash lists vertices that crash-stop unconditionally (in addition to
+	// the CrashFrac sample).
+	Crash []int
+	// CrashFrac is the probability that any given vertex is a crash victim.
+	CrashFrac float64
+	// CrashRound is the step at which crash victims die: they execute steps
+	// 1..CrashRound-1 normally, then halt silently — their step-CrashRound
+	// messages (and all later ones) are never sent. 0 means round 1 (the
+	// victim never participates).
+	CrashRound int
+	// DropProb is the per-delivery probability that a message vanishes in
+	// transit (decided per sending port per round).
+	DropProb float64
+	// DupProb is the per-port per-round probability that, on a round with
+	// no fresh message, the last message ever carried by the port is
+	// redelivered stale (this includes messages that were dropped in
+	// transit, modeling late delivery).
+	DupProb float64
+	// FromRound delays drop/duplication injection until the given step,
+	// letting experiments exempt an algorithm's setup exchange. 0 or 1
+	// means faults are live from the first step.
+	FromRound int
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool {
+	return len(p.Crash) > 0 || p.CrashFrac > 0 || p.DropProb > 0 || p.DupProb > 0
+}
+
+// String summarizes the plan for experiment tables.
+func (p Plan) String() string {
+	if !p.Active() {
+		return "none"
+	}
+	var parts []string
+	if len(p.Crash) > 0 {
+		parts = append(parts, fmt.Sprintf("crash %v @ r%d", p.Crash, p.crashRound()))
+	}
+	if p.CrashFrac > 0 {
+		parts = append(parts, fmt.Sprintf("crash %g%% @ r%d", 100*p.CrashFrac, p.crashRound()))
+	}
+	if p.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop %g%%", 100*p.DropProb))
+	}
+	if p.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup %g%%", 100*p.DupProb))
+	}
+	if p.FromRound > 1 {
+		parts = append(parts, fmt.Sprintf("from r%d", p.FromRound))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p Plan) crashRound() int {
+	if p.CrashRound < 1 {
+		return 1
+	}
+	return p.CrashRound
+}
+
+// chance draws the deterministic injection decision for a (salt, a, b)
+// coordinate: true with probability prob.
+func (p Plan) chance(prob float64, salt, a, b uint64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	h := rng.Mix64(rng.Mix64(p.Seed^salt, a), b)
+	return float64(h>>11)/(1<<53) < prob
+}
+
+// Crashed reports whether vertex v is a crash victim under the plan.
+func (p Plan) Crashed(v int) bool {
+	for _, c := range p.Crash {
+		if c == v {
+			return true
+		}
+	}
+	return p.chance(p.CrashFrac, saltCrash, uint64(v), 0)
+}
+
+// drops reports whether the message sent by vertex u on its port q at the
+// given step is lost in transit.
+func (p Plan) drops(u, q, step int) bool {
+	if step < p.FromRound {
+		return false
+	}
+	return p.chance(p.DropProb, saltDrop, uint64(u), uint64(q)<<32|uint64(step))
+}
+
+// duplicates reports whether port q of vertex v redelivers its stale
+// message at the given step.
+func (p Plan) duplicates(v, q, step int) bool {
+	if step < p.FromRound {
+		return false
+	}
+	return p.chance(p.DupProb, saltDup, uint64(v), uint64(q)<<32|uint64(step))
+}
+
+// Wrap layers the plan over a factory running on topology g. The returned
+// factory is what sim.Run should execute; the wrapped machines perturb
+// receives (drops, stale redelivery) and halt crash victims, while the
+// inner machines observe a perfectly ordinary — if lossy — LOCAL execution.
+// Crashed machines still expose their partial Output, so validators can
+// count the damage.
+func (p Plan) Wrap(g sim.Topology, f sim.Factory) sim.Factory {
+	if !p.Active() {
+		return f
+	}
+	return func() sim.Machine {
+		return &machine{plan: p, g: g, inner: f()}
+	}
+}
+
+// machine is the per-node fault shim. It uses Env.Node — legitimately: the
+// fault layer is instrumentation wrapped around the algorithm, not part of
+// the LOCAL algorithm itself (the inner machine never sees the index).
+type machine struct {
+	plan    Plan
+	g       sim.Topology
+	inner   sim.Machine
+	env     sim.Env
+	crashed bool
+	// sender[q] is the (vertex, port) pair that transmits into our port q.
+	sender [][2]int
+	// stale[q] is the last message ever carried by port q (delivered or
+	// dropped), the candidate for stale redelivery.
+	stale []sim.Message
+	// eff reuses one buffer for the perturbed receive slice.
+	eff []sim.Message
+}
+
+var _ sim.Machine = (*machine)(nil)
+
+func (m *machine) Init(env sim.Env) {
+	m.env = env
+	m.crashed = m.plan.Crashed(env.Node)
+	m.sender = make([][2]int, env.Degree)
+	m.stale = make([]sim.Message, env.Degree)
+	m.eff = make([]sim.Message, env.Degree)
+	for q := 0; q < env.Degree; q++ {
+		u, rev := m.g.NeighborPort(env.Node, q)
+		m.sender[q] = [2]int{u, rev}
+	}
+	m.inner.Init(env)
+}
+
+func (m *machine) Step(round int, recv []sim.Message) ([]sim.Message, bool) {
+	if m.crashed && round >= m.plan.crashRound() {
+		return nil, true
+	}
+	for q := range recv {
+		raw := recv[q]
+		eff := raw
+		if raw != nil {
+			// Messages arriving at step s were sent at step s-1; drop
+			// decisions key on the sender's coordinates at that step.
+			u, rev := m.sender[q][0], m.sender[q][1]
+			if m.plan.drops(u, rev, round-1) {
+				eff = nil
+			}
+		}
+		if eff == nil && m.stale[q] != nil && m.plan.duplicates(m.env.Node, q, round) {
+			eff = m.stale[q]
+		}
+		if raw != nil {
+			m.stale[q] = raw
+		}
+		m.eff[q] = eff
+	}
+	return m.inner.Step(round, m.eff)
+}
+
+func (m *machine) Output() any { return m.inner.Output() }

@@ -16,14 +16,16 @@ import (
 	"locality/internal/view"
 )
 
-// This file holds the supplementary experiments: E12 (the
-// indistinguishability principle made mechanical) and the ablations A1–A3
-// on the library's own design choices.
+// This file holds the supplementary experiments: E12 (graceful degradation
+// under fault injection, in faulttolerance.go), E13 (the indistinguishability
+// principle made mechanical) and the ablations A1–A3 on the library's own
+// design choices.
 
-// AllSupplementary runs E12 and the ablations.
+// AllSupplementary runs E12, E13 and the ablations.
 func AllSupplementary(cfg Config) []*Table {
 	return []*Table{
-		E12Indistinguishability(cfg),
+		E12FaultTolerance(cfg),
+		E13Indistinguishability(cfg),
 		A1KWvsSweep(cfg),
 		A2PeelThreshold(cfg),
 		A3SizeBound(cfg),
@@ -33,7 +35,8 @@ func AllSupplementary(cfg Config) []*Table {
 // ByIDSupplementary resolves the supplementary drivers.
 func ByIDSupplementary(id string) (func(Config) *Table, bool) {
 	m := map[string]func(Config) *Table{
-		"E12": E12Indistinguishability,
+		"E12": E12FaultTolerance,
+		"E13": E13Indistinguishability,
 		"A1":  A1KWvsSweep,
 		"A2":  A2PeelThreshold,
 		"A3":  A3SizeBound,
@@ -42,15 +45,15 @@ func ByIDSupplementary(id string) (func(Config) *Table, bool) {
 	return f, ok
 }
 
-// E12Indistinguishability makes the proof device of Theorems 4/5
+// E13Indistinguishability makes the proof device of Theorems 4/5
 // mechanical: on a Δ-regular graph with girth > 2t+1, the radius-t view of
 // every vertex is a tree, so no t-round algorithm can distinguish the graph
 // from a tree — which is how the lower bounds transfer from high-girth
 // graphs to trees. The experiment certifies the girth, collects every
 // radius-t view through the simulator, and verifies each is acyclic.
-func E12Indistinguishability(cfg Config) *Table {
+func E13Indistinguishability(cfg Config) *Table {
 	t := &Table{
-		ID:    "E12",
+		ID:    "E13",
 		Title: "indistinguishability: high-girth balls are trees",
 		Claim: "on a Δ-regular graph with girth g, every radius-t view with 2t+1 < g is " +
 			"acyclic — t-round algorithms behave identically on the graph and on a tree",
@@ -72,7 +75,7 @@ func E12Indistinguishability(cfg Config) *Table {
 		res, err := sim.Run(ecg.Graph, sim.Config{IDs: ids.Sequential(ecg.N())},
 			view.NewCollectMachineFactory(tRounds, nil))
 		if err != nil {
-			panic(fmt.Sprintf("harness: E12 collection: %v", err))
+			panic(fmt.Sprintf("harness: E13 collection: %v", err))
 		}
 		allTrees := "yes"
 		for v := 0; v < ecg.N(); v++ {

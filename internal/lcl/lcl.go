@@ -113,6 +113,60 @@ func (p Problem) Validate(inst Instance, out []any) error {
 	return nil
 }
 
+// Report is the counted, graceful-degradation companion to Validate: instead
+// of failing on the first violated constraint it tallies how many of the
+// instance's per-vertex constraints hold. Experiment E12 uses it to turn
+// "how badly does an algorithm degrade under injected faults" into a number.
+type Report struct {
+	// N is the number of per-vertex constraints checked (the vertex count).
+	N int
+	// Violated counts vertices whose radius-1 view fails the check.
+	Violated int
+	// Worst is the first violating vertex (-1 when the labeling is a
+	// solution), with its check error in WorstErr.
+	Worst    int
+	WorstErr error
+	// Structural is non-nil when the labeling could not be checked at all
+	// (wrong length); every constraint then counts as violated.
+	Structural error
+}
+
+// Satisfied returns the number of satisfied constraints.
+func (r Report) Satisfied() int { return r.N - r.Violated }
+
+// SatisfiedFraction returns the fraction of constraints satisfied in [0, 1]
+// (1 for an empty instance).
+func (r Report) SatisfiedFraction() float64 {
+	if r.N == 0 {
+		return 1
+	}
+	return float64(r.N-r.Violated) / float64(r.N)
+}
+
+// Violations judges a labeling gracefully: every vertex's constraint is
+// checked and counted, so a partially-correct labeling (a faulty or
+// crashed run's output) yields a partial score instead of a bare failure.
+// Validate remains the strict all-or-nothing judge.
+func (p Problem) Violations(inst Instance, out []any) Report {
+	g := inst.G
+	rep := Report{N: g.N(), Worst: -1}
+	if len(out) != g.N() {
+		rep.Structural = fmt.Errorf("lcl: %d labels for %d vertices", len(out), g.N())
+		rep.Violated = rep.N
+		return rep
+	}
+	for v := 0; v < g.N(); v++ {
+		if err := p.Check(p.buildView(inst, out, v)); err != nil {
+			rep.Violated++
+			if rep.Worst < 0 {
+				rep.Worst = v
+				rep.WorstErr = fmt.Errorf("lcl: %s violated at vertex %d: %w", p.Name, v, err)
+			}
+		}
+	}
+	return rep
+}
+
 func (p Problem) buildView(inst Instance, out []any, v int) LocalView {
 	g := inst.G
 	ports := g.Ports(v)

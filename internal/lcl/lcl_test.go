@@ -309,3 +309,53 @@ func TestNodeInputs(t *testing.T) {
 		t.Error("instance without edge colors should have nil inputs")
 	}
 }
+
+func TestViolationsCountsPartialDamage(t *testing.T) {
+	// Path of 6 vertices, proper 2-coloring, then corrupt vertex 2: the
+	// corrupted vertex and its two neighbors fail, the other three hold.
+	inst := Instance{G: graph.Path(6)}
+	labels := IntLabels([]int{1, 2, 1, 2, 1, 2})
+	rep := Coloring(2).Violations(inst, labels)
+	if rep.Violated != 0 || rep.Worst != -1 || rep.SatisfiedFraction() != 1 {
+		t.Fatalf("clean labeling reported %+v", rep)
+	}
+	labels[2] = 2
+	rep = Coloring(2).Violations(inst, labels)
+	if rep.N != 6 || rep.Violated != 3 {
+		t.Fatalf("corrupted labeling: %d/%d violated, want 3/6", rep.Violated, rep.N)
+	}
+	if rep.Worst != 1 || rep.WorstErr == nil {
+		t.Errorf("worst offender = %d (%v), want vertex 1 (first violator)", rep.Worst, rep.WorstErr)
+	}
+	if got, want := rep.SatisfiedFraction(), 0.5; got != want {
+		t.Errorf("satisfied fraction = %v, want %v", got, want)
+	}
+	if rep.Satisfied() != 3 {
+		t.Errorf("Satisfied() = %d, want 3", rep.Satisfied())
+	}
+}
+
+func TestViolationsStructuralMismatch(t *testing.T) {
+	rep := Coloring(3).Violations(ring5Instance(), IntLabels([]int{1, 2}))
+	if rep.Structural == nil {
+		t.Fatal("length mismatch not reported as structural")
+	}
+	if rep.Violated != rep.N || rep.SatisfiedFraction() != 0 {
+		t.Errorf("structural failure must violate everything: %+v", rep)
+	}
+}
+
+func TestViolationsAgreesWithValidate(t *testing.T) {
+	ecg := graph.RandomRegularBipartite(8, 3, rng.New(17))
+	inst := Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: 3}
+	labels := make([]any, ecg.N())
+	for v := range labels {
+		labels[v] = 1 + v%3
+	}
+	p := SinklessColoring(3)
+	rep := p.Violations(inst, labels)
+	if (p.Validate(inst, labels) == nil) != (rep.Violated == 0) {
+		t.Errorf("Validate and Violations disagree: validate err=%v, violated=%d",
+			p.Validate(inst, labels), rep.Violated)
+	}
+}

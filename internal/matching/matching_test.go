@@ -1,6 +1,7 @@
 package matching_test
 
 import (
+	"errors"
 	"testing"
 
 	"locality/internal/graph"
@@ -126,10 +127,10 @@ func TestMatchingOnSingleEdge(t *testing.T) {
 }
 
 func TestDetMatchingRequiresIDs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("det matching without IDs did not panic")
-		}
-	}()
-	_, _ = sim.Run(graph.Path(3), sim.Config{}, matching.NewDetFactory(matching.DetOptions{}))
+	// The machine panics in Init; the hardened kernel turns that into a
+	// structured ErrNodePanic instead of crashing the caller.
+	_, err := sim.Run(graph.Path(3), sim.Config{}, matching.NewDetFactory(matching.DetOptions{}))
+	if !errors.Is(err, sim.ErrNodePanic) {
+		t.Fatalf("det matching without IDs: err = %v, want ErrNodePanic", err)
+	}
 }

@@ -1,6 +1,7 @@
 package mis_test
 
 import (
+	"errors"
 	"testing"
 
 	"locality/internal/graph"
@@ -204,11 +205,10 @@ func TestRandVsDetRoundComparison(t *testing.T) {
 }
 
 func TestLubyRequiresRandomness(t *testing.T) {
-	g := graph.Path(4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Luby without randomness did not panic")
-		}
-	}()
-	_, _ = sim.Run(g, sim.Config{}, mis.NewLubyFactory(mis.LubyOptions{}))
+	// The machine panics in Init; the hardened kernel turns that into a
+	// structured ErrNodePanic instead of crashing the caller.
+	_, err := sim.Run(graph.Path(4), sim.Config{}, mis.NewLubyFactory(mis.LubyOptions{}))
+	if !errors.Is(err, sim.ErrNodePanic) {
+		t.Fatalf("Luby without randomness: err = %v, want ErrNodePanic", err)
+	}
 }

@@ -1,10 +1,19 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// abortGrace bounds how long an aborting run waits for node goroutines to
+// drain after the abort channel closes. Cooperative machines (ones that
+// return from Step) exit within microseconds; only a machine blocked
+// forever inside Step can exhaust it, and Go offers no way to kill such a
+// goroutine — the run then returns anyway, reporting the leak.
+const abortGrace = 2 * time.Second
 
 // runConcurrent executes one goroutine per node. Every directed edge is a
 // buffered channel of capacity one; a round is: all nodes send on their
@@ -15,7 +24,15 @@ import (
 // nils) until the whole run stops, which keeps every goroutine in lockstep
 // without per-node liveness negotiation. A coordinator drives rounds via
 // per-node start channels and collects per-round status.
-func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
+//
+// Failure discipline: machine panics and over-degree sends are captured as
+// *NodeError statuses; the coordinator finishes the round, picks the
+// (round, node)-minimal fault (matching the sequential engine's sweep
+// order) and shuts the run down gracefully. Cancellation and the
+// Config.Deadline watchdog abort via a dedicated channel that every
+// blocking operation in the node loop selects on, so all goroutines are
+// reaped even mid-round.
+func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Result, error) {
 	n := g.N()
 	maxDeg := topologyMaxDegree(g)
 
@@ -40,14 +57,16 @@ func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
 	type status struct {
 		node     int
 		justDone bool
-		panicked any
+		fault    *NodeError
 	}
 	start := make([]chan bool, n) // true = run a round, false = stop
 	statusCh := make(chan status, n)
+	abort := make(chan struct{})
 	var msgCount atomic.Int64
 
 	var wg sync.WaitGroup
 	outputs := make([]any, n)
+	outFaults := make([]*NodeError, n)
 	haltRound := make([]int, n)
 
 	for v := 0; v < n; v++ {
@@ -56,33 +75,40 @@ func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
 		go func(v int) {
 			defer wg.Done()
 			m := f()
-			m.Init(makeEnv(g, cfg, maxDeg, v))
+			initFault := initGuarded(m, v, makeEnv(g, cfg, maxDeg, v))
 			deg := g.Degree(v)
 			recv := make([]Message, deg)
-			done := false
+			done := initFault != nil
 			round := 0
-			for cont := range start[v] {
+			for {
+				var cont bool
+				select {
+				case cont = <-start[v]:
+				case <-abort:
+					return
+				}
 				if !cont {
 					break
 				}
 				round++
 				st := status{node: v}
+				if initFault != nil {
+					st.fault = initFault
+					initFault = nil
+				}
 				var send []Message
 				if !done {
-					func() {
-						defer func() {
-							if r := recover(); r != nil {
-								st.panicked = r
-								done = true
-							}
-						}()
-						send, done = m.Step(round, recv)
-						if done {
-							st.justDone = true
-						}
-					}()
-					if len(send) > deg {
-						st.panicked = fmt.Sprintf("sim: node %d sent on %d ports but has degree %d", v, len(send), deg)
+					var ne *NodeError
+					send, done, ne = stepGuarded(m, v, round, recv)
+					switch {
+					case ne != nil:
+						st.fault = ne
+					case len(send) > deg:
+						st.fault = overSendError(v, round, len(send), deg)
+						send = send[:deg]
+						done = true
+					case done:
+						st.justDone = true
 					}
 				}
 				// Send phase: one message (possibly nil) per port, always,
@@ -95,18 +121,33 @@ func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
 					if msg != nil {
 						msgCount.Add(1)
 					}
-					out[v][p] <- msg
+					select {
+					case out[v][p] <- msg:
+					case <-abort:
+						return
+					}
 				}
 				// Receive phase.
 				for p := 0; p < deg; p++ {
-					recv[p] = <-in[v][p]
+					select {
+					case recv[p] = <-in[v][p]:
+					case <-abort:
+						return
+					}
 				}
-				statusCh <- st
+				select {
+				case statusCh <- st:
+				case <-abort:
+					return
+				}
 			}
-			outputs[v] = m.Output()
+			outputs[v], outFaults[v] = outputGuarded(m, v)
 		}(v)
 	}
 
+	// stopAll drains the run gracefully: every node has finished its round
+	// and is (or will be) waiting on its start channel, so the false token
+	// lets it collect its output and exit.
 	stopAll := func() {
 		for v := 0; v < n; v++ {
 			start[v] <- false
@@ -114,9 +155,50 @@ func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
 		wg.Wait()
 	}
 
+	// abortAll tears the run down mid-round: the abort channel wakes nodes
+	// blocked anywhere in the round protocol. Outputs are not collected.
+	abortAll := func(cause error) error {
+		close(abort)
+		drained := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+			return cause
+		case <-time.After(abortGrace):
+			return fmt.Errorf("%w (node goroutines still blocked inside Step after %v; they cannot be reaped)", cause, abortGrace)
+		}
+	}
+
+	var watchdog <-chan time.Time
+	if cfg.Deadline > 0 {
+		timer := time.NewTimer(cfg.Deadline)
+		defer timer.Stop()
+		watchdog = timer.C
+	}
+	ctxDone := ctx.Done()
+	collect := func(round int) (status, error) {
+		if ctxDone == nil && watchdog == nil {
+			return <-statusCh, nil
+		}
+		select {
+		case st := <-statusCh:
+			return st, nil
+		case <-ctxDone:
+			return status{}, cancelErr(ctx, round)
+		case <-watchdog:
+			return status{}, deadlineErr(cfg.Deadline, round)
+		}
+	}
+
 	res := &Result{HaltRound: haltRound}
 	live := n
 	for step := 1; live > 0; step++ {
+		if ctx.Err() != nil {
+			return nil, abortAll(cancelErr(ctx, step-1))
+		}
 		if step > cfg.MaxRounds+1 {
 			stopAll()
 			return nil, fmt.Errorf("%w: budget %d, %d nodes still live", ErrMaxRounds, cfg.MaxRounds, live)
@@ -125,20 +207,37 @@ func runConcurrent(g Topology, cfg Config, f Factory) (*Result, error) {
 		for v := 0; v < n; v++ {
 			start[v] <- true
 		}
+		var fault *NodeError
 		for i := 0; i < n; i++ {
-			st := <-statusCh
-			if st.panicked != nil {
-				stopAll()
-				panic(st.panicked)
+			st, err := collect(step - 1)
+			if err != nil {
+				return nil, abortAll(err)
+			}
+			if st.fault != nil && st.fault.before(fault) {
+				fault = st.fault
 			}
 			if st.justDone {
 				haltRound[st.node] = step - 1
 				live--
 			}
 		}
+		if fault != nil {
+			stopAll()
+			return nil, fault
+		}
 	}
 	stopAll()
 
+	var fault *NodeError
+	for v := 0; v < n; v++ {
+		if outFaults[v] != nil {
+			fault = outFaults[v]
+			break
+		}
+	}
+	if fault != nil {
+		return nil, fault
+	}
 	res.Outputs = outputs
 	res.MessagesSent = msgCount.Load()
 	return res, nil

@@ -1,13 +1,26 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // runSequential executes all nodes in index order within one goroutine,
 // double-buffering the per-port inboxes. It is the deterministic fast path
 // used by benchmarks.
-func runSequential(g Topology, cfg Config, f Factory) (*Result, error) {
+//
+// Misbehaving machines never crash the process: panics and over-degree
+// sends surface as *NodeError. Because the sweep visits nodes in index
+// order, the first fault encountered is the (round, node)-minimal one —
+// the same fault the concurrent engine reports for the same run.
+func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Result, error) {
 	n := g.N()
 	maxDeg := topologyMaxDegree(g)
+	var deadline time.Time
+	if cfg.Deadline > 0 {
+		deadline = time.Now().Add(cfg.Deadline)
+	}
 
 	machines := make([]Machine, n)
 	inboxCur := make([][]Message, n)
@@ -16,7 +29,9 @@ func runSequential(g Topology, cfg Config, f Factory) (*Result, error) {
 	haltRound := make([]int, n)
 	for v := 0; v < n; v++ {
 		machines[v] = f()
-		machines[v].Init(makeEnv(g, cfg, maxDeg, v))
+		if ne := initGuarded(machines[v], v, makeEnv(g, cfg, maxDeg, v)); ne != nil {
+			return nil, ne
+		}
 		inboxCur[v] = make([]Message, g.Degree(v))
 		inboxNext[v] = make([]Message, g.Degree(v))
 	}
@@ -24,6 +39,12 @@ func runSequential(g Topology, cfg Config, f Factory) (*Result, error) {
 	res := &Result{HaltRound: haltRound}
 	live := n
 	for step := 1; live > 0; step++ {
+		if ctx.Err() != nil {
+			return nil, cancelErr(ctx, step-1)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, deadlineErr(cfg.Deadline, step-1)
+		}
 		if step > cfg.MaxRounds+1 {
 			return nil, fmt.Errorf("%w: budget %d, %d nodes still live", ErrMaxRounds, cfg.MaxRounds, live)
 		}
@@ -32,9 +53,13 @@ func runSequential(g Topology, cfg Config, f Factory) (*Result, error) {
 			if done[v] {
 				continue
 			}
-			send, nodeDone := machines[v].Step(step, inboxCur[v])
-			if len(send) > g.Degree(v) {
-				panic(fmt.Sprintf("sim: node %d sent on %d ports but has degree %d", v, len(send), g.Degree(v)))
+			send, nodeDone, ne := stepGuarded(machines[v], v, step, inboxCur[v])
+			if ne != nil {
+				return nil, ne
+			}
+			deg := g.Degree(v)
+			if len(send) > deg {
+				return nil, overSendError(v, step, len(send), deg)
 			}
 			for p := 0; p < len(send); p++ {
 				if send[p] == nil {
@@ -59,7 +84,11 @@ func runSequential(g Topology, cfg Config, f Factory) (*Result, error) {
 
 	res.Outputs = make([]any, n)
 	for v := 0; v < n; v++ {
-		res.Outputs[v] = machines[v].Output()
+		out, ne := outputGuarded(machines[v], v)
+		if ne != nil {
+			return nil, ne
+		}
+		res.Outputs[v] = out
 	}
 	return res, nil
 }

@@ -24,8 +24,10 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"locality/internal/ids"
 	"locality/internal/rng"
@@ -113,6 +115,11 @@ type Config struct {
 	MaxRounds int
 	// Engine selects the executor; zero value means EngineSequential.
 	Engine Engine
+	// Deadline bounds the wall-clock duration of the run; 0 means no bound.
+	// It is the watchdog that aborts a deadlocked or runaway run (a machine
+	// stuck inside Step, a round that never completes) where the logical
+	// MaxRounds budget cannot trigger. Expiry returns ErrDeadline.
+	Deadline time.Duration
 }
 
 // Result reports a completed run.
@@ -137,6 +144,16 @@ var ErrMaxRounds = errors.New("sim: exceeded maximum rounds")
 
 // Run executes the algorithm on g under cfg.
 func Run(g Topology, cfg Config, f Factory) (*Result, error) {
+	return RunContext(context.Background(), g, cfg, f)
+}
+
+// RunContext is Run with cooperative cancellation: the run aborts cleanly
+// (every node goroutine reaped) as soon as ctx is cancelled or its deadline
+// passes, returning an error that wraps ctx.Err(). Cancellation is checked
+// at round granularity, so a run whose machines return from Step aborts
+// within one round; a machine stuck *inside* Step can only be abandoned by
+// the Config.Deadline watchdog (Go cannot kill a goroutine).
+func RunContext(ctx context.Context, g Topology, cfg Config, f Factory) (*Result, error) {
 	n := g.N()
 	if cfg.IDs != nil {
 		if len(cfg.IDs) != n {
@@ -154,12 +171,22 @@ func Run(g Topology, cfg Config, f Factory) (*Result, error) {
 	}
 	switch cfg.Engine {
 	case EngineConcurrent:
-		return runConcurrent(g, cfg, f)
+		return runConcurrent(ctx, g, cfg, f)
 	case EngineSequential, 0:
-		return runSequential(g, cfg, f)
+		return runSequential(ctx, g, cfg, f)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %d", cfg.Engine)
 	}
+}
+
+// cancelErr wraps a context cancellation with round context.
+func cancelErr(ctx context.Context, round int) error {
+	return fmt.Errorf("sim: run cancelled at round %d: %w", round, context.Cause(ctx))
+}
+
+// deadlineErr reports a tripped Config.Deadline watchdog.
+func deadlineErr(d time.Duration, round int) error {
+	return fmt.Errorf("%w: budget %v, tripped at round %d", ErrDeadline, d, round)
 }
 
 // Topology is the read-only view of the communication graph the kernel

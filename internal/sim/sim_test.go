@@ -275,7 +275,7 @@ func TestMessageToCorrectPort(t *testing.T) {
 	}
 }
 
-func TestOversendPanics(t *testing.T) {
+func TestOversendStructuredError(t *testing.T) {
 	g := graph.Path(2)
 	bad := func() sim.Machine {
 		return &sim.FuncMachine{
@@ -284,12 +284,19 @@ func TestOversendPanics(t *testing.T) {
 			},
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("oversending machine did not panic the run")
+	for _, engine := range []sim.Engine{sim.EngineSequential, sim.EngineConcurrent} {
+		_, err := sim.Run(g, sim.Config{Engine: engine}, bad)
+		if !errors.Is(err, sim.ErrOverSend) {
+			t.Fatalf("engine %v: error = %v, want ErrOverSend", engine, err)
 		}
-	}()
-	_, _ = sim.Run(g, sim.Config{}, bad)
+		var ne *sim.NodeError
+		if !errors.As(err, &ne) {
+			t.Fatalf("engine %v: error %v is not a *NodeError", engine, err)
+		}
+		if ne.Node != 0 || ne.Round != 1 {
+			t.Errorf("engine %v: fault at node %d round %d, want node 0 round 1", engine, ne.Node, ne.Round)
+		}
+	}
 }
 
 func TestSingleVertexGraph(t *testing.T) {

@@ -31,6 +31,7 @@ package locality
 
 import (
 	"locality/internal/core"
+	"locality/internal/fault"
 	"locality/internal/forest"
 	"locality/internal/graph"
 	"locality/internal/harness"
@@ -134,6 +135,36 @@ func Run(g *Graph, cfg RunConfig, f MachineFactory) (*RunResult, error) {
 	return sim.Run(g, cfg, f)
 }
 
+// RunContext is Run with cooperative cancellation: the run aborts cleanly
+// (all goroutines reaped) when ctx is cancelled or RunConfig.Deadline
+// expires.
+var RunContext = sim.RunContext
+
+// NodeError locates a misbehaving machine: which node, which round, what it
+// did. Returned (wrapped in one of the sentinels below) instead of crashing
+// the process when a machine panics or over-sends.
+type NodeError = sim.NodeError
+
+// Kernel error sentinels, testable with errors.Is.
+var (
+	// ErrNodePanic wraps a recovered machine panic.
+	ErrNodePanic = sim.ErrNodePanic
+	// ErrOverSend marks a machine that sent on more ports than its degree.
+	ErrOverSend = sim.ErrOverSend
+	// ErrMaxRounds marks a run that exhausted its round budget.
+	ErrMaxRounds = sim.ErrMaxRounds
+	// ErrDeadline marks a run aborted by the wall-clock watchdog.
+	ErrDeadline = sim.ErrDeadline
+)
+
+// ---- Fault injection (off-model instrumentation) ----
+
+// FaultPlan is a deterministic seeded fault-injection schedule (crash-stop
+// nodes, message drops, duplication) that wraps any factory via its Wrap
+// method. It is instrumentation for robustness experiments, not part of the
+// paper's LOCAL model.
+type FaultPlan = fault.Plan
+
 // ---- LCL problems and verification ----
 
 // LCLProblem is a locally checkable labeling problem (radius-1 check).
@@ -166,6 +197,12 @@ func ValidateColoring(g *Graph, k int, colors []int) error {
 func ValidateMIS(g *Graph, inSet []bool) error {
 	return lcl.MIS().Validate(lcl.Instance{G: g}, lcl.BoolLabels(inSet))
 }
+
+// LCLReport is the counted result of LCLProblem.Violations: how many
+// per-vertex constraints a (possibly partial or damaged) labeling satisfies,
+// and the worst offender. It is the graceful-degradation companion to the
+// all-or-nothing Validate.
+type LCLReport = lcl.Report
 
 // ---- The paper's algorithms (Section VI) ----
 
@@ -282,3 +319,11 @@ var (
 	// ExperimentByID looks up a single driver ("E1".."E11").
 	ExperimentByID = harness.ByID
 )
+
+// RetryResult records a Retry run: attempts consumed and whether one
+// succeeded.
+type RetryResult = harness.RetryResult
+
+// Retry re-runs a Monte-Carlo algorithm under a failure budget; the callback
+// derives fresh seeds from the attempt number.
+var Retry = harness.Retry

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race-kernel bench experiments
+.PHONY: all build test vet lint race race-kernel fuzz-smoke bench experiments
 
 all: build test
 
@@ -13,12 +13,30 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Robustness gate (CI): vet the whole module, then run the simulator kernel
-# and fault-injection suites under the race detector — these are the packages
-# that exercise goroutine-per-node execution, cancellation and abort paths.
+# Static gate (CI, tier 1): standard go vet plus localvet, the in-repo
+# multichecker that enforces the LOCAL-model determinism & purity contract
+# (see DESIGN.md, "Model purity & static enforcement"). Exits non-zero on
+# any finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/localvet ./...
+
+# Full-module race gate: every package under the race detector. The
+# goroutine-per-node kernel packages are the likeliest offenders, but
+# harness/experiment drivers spawn runs too, so CI sweeps everything.
+race:
+	$(GO) test -race ./...
+
+# Narrower historical gate kept for fast local iteration on the kernel.
 race-kernel:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/... ./internal/fault/...
+
+# Short fuzz sweep (CI smoke, not a soak): each target runs for a few
+# seconds. `go test -fuzz` accepts one target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzGenerateTree -fuzztime=5s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzLCLCheck -fuzztime=5s ./internal/lcl
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -10,27 +10,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"locality"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("colortrees", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		algo  = flag.String("algo", "t11", "algorithm: t11 (Theorem 11), t10 (ColorBidding), det (Theorem 9 baseline)")
-		n     = flag.Int("n", 4096, "number of vertices")
-		delta = flag.Int("delta", 16, "maximum degree / palette size")
-		seed  = flag.Uint64("seed", 7, "random seed")
+		algo  = fs.String("algo", "t11", "algorithm: t11 (Theorem 11), t10 (ColorBidding), det (Theorem 9 baseline)")
+		n     = fs.Int("n", 4096, "number of vertices")
+		delta = fs.Int("delta", 16, "maximum degree / palette size")
+		seed  = fs.Uint64("seed", 7, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	r := locality.NewRand(*seed)
 	g := locality.RandomTree(*n, *delta, r)
-	fmt.Printf("tree: n=%d Δ=%d (max degree generated: %d)\n", g.N(), *delta, g.MaxDegree())
+	fmt.Fprintf(stdout, "tree: n=%d Δ=%d (max degree generated: %d)\n", g.N(), *delta, g.MaxDegree())
 
 	var (
 		res *locality.RunResult
@@ -47,11 +52,11 @@ func run() int {
 		res, err = locality.Run(g, locality.RunConfig{IDs: locality.ShuffledIDs(*n, r), MaxRounds: 1 << 22},
 			locality.NewTreeColoringFactory(locality.TreeColoringOptions{Q: *delta}))
 	default:
-		fmt.Fprintf(os.Stderr, "colortrees: unknown algorithm %q\n", *algo)
+		fmt.Fprintf(stderr, "colortrees: unknown algorithm %q\n", *algo)
 		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "colortrees: run failed: %v\n", err)
+		fmt.Fprintf(stderr, "colortrees: run failed: %v\n", err)
 		return 1
 	}
 
@@ -64,11 +69,11 @@ func run() int {
 	} else {
 		colors = locality.ColoringOutputs(res.Outputs)
 	}
-	fmt.Printf("rounds: %d\n", res.Rounds)
+	fmt.Fprintf(stdout, "rounds: %d\n", res.Rounds)
 	if err := locality.ValidateColoring(g, *delta, colors); err != nil {
-		fmt.Printf("verification: FAILED: %v\n", err)
+		fmt.Fprintf(stdout, "verification: FAILED: %v\n", err)
 		return 1
 	}
-	fmt.Printf("verification: valid %d-coloring\n", *delta)
+	fmt.Fprintf(stdout, "verification: valid %d-coloring\n", *delta)
 	return 0
 }

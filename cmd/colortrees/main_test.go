@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs each algorithm end to end on a tree small enough for a
+// unit test and checks the run verifies as a valid coloring.
+func TestRunSmoke(t *testing.T) {
+	cases := []struct {
+		algo  string
+		delta string // ColorBidding (t10) needs Δ >= 9; the others are fine small
+	}{{"t11", "4"}, {"t10", "9"}, {"det", "4"}}
+	for _, tc := range cases {
+		t.Run(tc.algo, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run([]string{"-algo", tc.algo, "-n", "64", "-delta", tc.delta, "-seed", "1"}, &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "verification: valid") {
+				t.Fatalf("expected a verified coloring, got:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunUnknownAlgo checks the usage-error path.
+func TestRunUnknownAlgo(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-algo", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run exited %d for an unknown algorithm, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown algorithm") {
+		t.Fatalf("expected an unknown-algorithm message, got: %s", stderr.String())
+	}
+}

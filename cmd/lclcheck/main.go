@@ -11,37 +11,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"locality"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lclcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		t      = flag.Int("t", 1, "number of rounds")
-		m      = flag.Int("m", 5, "ID space size")
-		k      = flag.Int("k", 3, "number of colors")
-		budget = flag.Int("budget", 1<<24, "search-tree node budget")
+		t      = fs.Int("t", 1, "number of rounds")
+		m      = fs.Int("m", 5, "ID space size")
+		k      = fs.Int("k", 3, "number of colors")
+		budget = fs.Int("budget", 1<<24, "search-tree node budget")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ng := locality.BuildNeighborhoodGraph(*t, *m)
-	fmt.Printf("neighborhood graph B_%d(%d): %d views, %d constraint edges\n",
+	fmt.Fprintf(stdout, "neighborhood graph B_%d(%d): %d views, %d constraint edges\n",
 		*t, *m, ng.G.N(), ng.G.M())
 	res := locality.RingAlgorithmExists(*t, *m, *k, *budget)
 	if !res.Decided {
-		fmt.Printf("UNDECIDED after %d search nodes (raise -budget)\n", res.Nodes)
+		fmt.Fprintf(stdout, "UNDECIDED after %d search nodes (raise -budget)\n", res.Nodes)
 		return 1
 	}
 	if res.Colorable {
-		fmt.Printf("a %d-round %d-coloring algorithm EXISTS for rings with IDs from 1..%d "+
+		fmt.Fprintf(stdout, "a %d-round %d-coloring algorithm EXISTS for rings with IDs from 1..%d "+
 			"(witness coloring found in %d search nodes)\n", *t, *k, *m, res.Nodes)
 	} else {
-		fmt.Printf("PROVED: no %d-round %d-coloring algorithm exists for rings with IDs from "+
+		fmt.Fprintf(stdout, "PROVED: no %d-round %d-coloring algorithm exists for rings with IDs from "+
 			"1..%d (%d search nodes)\n", *t, *k, *m, res.Nodes)
 	}
 	return 0

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke exercises the full main path on instances small enough for a
+// unit test. t=0, m=4, k=3 is Linial's base case: three colors are not
+// enough for 0 rounds, so the engine must report a proof of impossibility.
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-t", "0", "-m", "4", "-k", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PROVED") {
+		t.Fatalf("expected an impossibility proof, got:\n%s", stdout.String())
+	}
+}
+
+// TestRunSmokeExists checks the positive branch: with a large enough
+// palette a 0-round algorithm trivially exists (color = ID).
+func TestRunSmokeExists(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-t", "0", "-m", "4", "-k", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "EXISTS") {
+		t.Fatalf("expected an existence witness, got:\n%s", stdout.String())
+	}
+}
+
+// TestRunBadFlag checks that flag errors surface as exit code 2 on stderr.
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run exited %d for an unknown flag, want 2", code)
+	}
+}

@@ -1,0 +1,210 @@
+// Command localvet is the multichecker for the repository's LOCAL-model
+// determinism & purity contract (DESIGN.md, "Model purity & static
+// enforcement"). It type-checks every package of the module from source
+// (stdlib only — no external tooling) and runs the internal/analysis suite:
+//
+//	norawrand    randomness only via internal/rng (Env.Rand)
+//	nowallclock  no wall-clock reads outside the sim deadline machinery
+//	nomapiter    map iteration order must not reach messages or outputs
+//	errsentinel  kernel failures matched with errors.Is, never error text
+//	phasedisc    Machine receiver/Env.Node shape discipline
+//
+// Usage:
+//
+//	localvet [-only a,b] [package-pattern]
+//
+// The only supported patterns are "./..." (the whole module, the default)
+// and module-relative directories like ./internal/mis. Exit status: 0 clean,
+// 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"locality/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// contractAnalyzers builds the suite with the repository's sanctioned
+// exceptions. These exceptions ARE the contract, so they live here, not in
+// per-package config files:
+//
+//   - internal/sim may read the clock: Config.Deadline is the watchdog that
+//     reaps runaway concurrent runs, and the wall clock is its whole point.
+//   - internal/fault machines may observe Env.Node: the fault shim maps
+//     itself to a host vertex to look up its entry in the fault plan —
+//     instrumentation by design, documented in fault.go.
+func contractAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		analysis.NewNoRawRand(analysis.NoRawRandOptions{}),
+		analysis.NewNoWallClock(analysis.NoWallClockOptions{
+			AllowPackages: []string{"locality/internal/sim"},
+		}),
+		analysis.NewNoMapIter(analysis.NoMapIterOptions{}),
+		analysis.NewErrSentinel(analysis.ErrSentinelOptions{}),
+		analysis.NewPhaseDisc(analysis.PhaseDiscOptions{
+			AllowNodePackages: []string{"locality/internal/fault"},
+		}),
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("localvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := contractAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "localvet: unknown analyzer %q\n", name)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "localvet: %v\n", err)
+		return 2
+	}
+	moduleDir, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "localvet: %v\n", err)
+		return 2
+	}
+	const modulePath = "locality"
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := resolvePatterns(patterns, modulePath, moduleDir, cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "localvet: %v\n", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader(modulePath, moduleDir)
+	loader.IncludeTests = true
+	findings := 0
+	failed := false
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "localvet: %v\n", err)
+			failed = true
+			continue
+		}
+		var diags []diag
+		for _, a := range analyzers {
+			name := a.Name
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+				Report: func(d analysis.Diagnostic) {
+					diags = append(diags, diag{analyzer: name, d: d})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "localvet: %s on %s: %v\n", a.Name, path, err)
+				failed = true
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].d.Pos < diags[j].d.Pos })
+		for _, d := range diags {
+			pos := p.Fset.Position(d.d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", file, pos.Line, pos.Column, d.analyzer, d.d.Message)
+			findings++
+		}
+	}
+	switch {
+	case failed:
+		return 2
+	case findings > 0:
+		fmt.Fprintf(stderr, "localvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// diag pairs a diagnostic with the analyzer that produced it.
+type diag struct {
+	analyzer string
+	d        analysis.Diagnostic
+}
+
+// resolvePatterns expands package patterns to module import paths.
+func resolvePatterns(patterns []string, modulePath, moduleDir, cwd string) ([]string, error) {
+	var paths []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := analysis.ModulePackages(modulePath, moduleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				if !seen[p] {
+					seen[p] = true
+					paths = append(paths, p)
+				}
+			}
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(cwd, dir)
+			}
+			rel, err := filepath.Rel(moduleDir, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("pattern %q is outside the module", pat)
+			}
+			p := modulePath
+			if rel != "." {
+				p = modulePath + "/" + filepath.ToSlash(rel)
+			}
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths, nil
+}

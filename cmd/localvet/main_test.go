@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunClean runs the gate on a package that honors the contract.
+func TestRunClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"../../internal/rng"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestRunFindings points the gate at the norawrand test fixture, which
+// deliberately imports math/rand, and expects exit code 1 with a
+// file:line:col diagnostic.
+func TestRunFindings(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-only", "norawrand", "../../internal/analysis/testdata/src/norawrand"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "norawrand: import of \"math/rand\"") {
+		t.Fatalf("expected a norawrand diagnostic, got:\n%s", stdout.String())
+	}
+}
+
+// TestRunList checks the -list inventory includes every analyzer.
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -list exited %d", code)
+	}
+	for _, name := range []string{"norawrand", "nowallclock", "nomapiter", "errsentinel", "phasedisc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRunUnknownAnalyzer checks the usage-error path.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run exited %d for an unknown analyzer, want 2", code)
+	}
+}

@@ -1,0 +1,150 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixture sources —
+// the same convention as golang.org/x/tools/go/analysis/analysistest, which
+// this package reimplements (stdlib-only) for the localvet suite.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// attached to the line the diagnostic should appear on. Every diagnostic
+// must match an expectation on its line and every expectation must be
+// matched by a diagnostic; anything unmatched fails the test. A fixture
+// package therefore demonstrates flagged cases (lines with want comments)
+// and accepted cases (lines without) in one place.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"locality/internal/analysis"
+)
+
+// TestData returns the caller package's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller for testdata")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, runs the analyzer
+// on it, and reports mismatches between diagnostics and want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	moduleDir, err := analysis.FindModuleRoot(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkg := range pkgs {
+		loader := analysis.NewLoader("locality", moduleDir)
+		loader.ExtraSrcDirs = []string{filepath.Join(testdata, "src")}
+		loader.IncludeTests = true
+		p, err := loader.Load(pkg)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", pkg, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkExpectations(t, p, a.Name, diags)
+	}
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkExpectations matches diagnostics against the fixture's want comments.
+func checkExpectations(t *testing.T, p *analysis.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(text)
+				if err != nil {
+					t.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, name, w.re)
+		}
+	}
+}
+
+// parseWantPatterns splits `"re1" "re2"` into its quoted patterns.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pat)
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready for
+// analyzers.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of this module (and analyzer
+// testdata trees) using only the standard library: module-local imports are
+// resolved from source under ModuleDir, testdata imports from ExtraSrcDirs,
+// and everything else (the standard library) through go/importer's source
+// importer. One Loader shares a FileSet and a package cache, so the standard
+// library is type-checked at most once per process.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath/ModuleDir anchor module-local import resolution
+	// ("locality/..." -> ModuleDir/...).
+	ModulePath string
+	ModuleDir  string
+	// ExtraSrcDirs are additional source roots (analysistest testdata/src
+	// trees) consulted for imports that are neither module-local nor
+	// resolvable as standard library.
+	ExtraSrcDirs []string
+	// IncludeTests adds in-package *_test.go files to loaded packages.
+	// External (package foo_test) files are never loaded: they cannot be
+	// type-checked together with the package under test.
+	IncludeTests bool
+
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a Loader for the module rooted at moduleDir.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+	}
+}
+
+// inProgress marks a package currently being type-checked (cycle detection).
+var inProgress = &Package{}
+
+// Load parses and type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, err := l.dirOf(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDir(dir, path)
+}
+
+// LoadDir parses and type-checks the single package in dir, registering it
+// under the given import path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	switch p := l.pkgs[path]; {
+	case p == inProgress:
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	case p != nil:
+		return p, nil
+	}
+	l.pkgs[path] = inProgress
+	defer func() {
+		if l.pkgs[path] == inProgress {
+			delete(l.pkgs, path)
+		}
+	}()
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// dirOf maps an import path to a source directory.
+func (l *Loader) dirOf(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	for _, root := range l.ExtraSrcDirs {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q", path)
+}
+
+// loaderImporter adapts the Loader to types.Importer for dependency
+// resolution during type checking: module-local and testdata imports recurse
+// into the Loader (without test files — dependencies never need them), all
+// others go to the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if dir, err := l.dirOf(path); err == nil {
+		saved := l.IncludeTests
+		l.IncludeTests = false
+		p, err := l.LoadDir(dir, path)
+		l.IncludeTests = saved
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod and returns it, or an error when there is none.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePackages returns the import paths of every package in the module
+// rooted at moduleDir (skipping testdata trees and dot-directories), in
+// sorted order. Directories without buildable Go files are omitted.
+func ModulePackages(modulePath, moduleDir string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != moduleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if _, err := build.ImportDir(path, 0); err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return nil // unreadable or constrained-out: not a package
+		}
+		rel, err := filepath.Rel(moduleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, modulePath)
+		} else {
+			paths = append(paths, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"locality/internal/analysis"
+	"locality/internal/analysis/analysistest"
+)
+
+func TestNoMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		analysis.NewNoMapIter(analysis.NoMapIterOptions{}), "nomapiter")
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import "go/ast"
+
+// clockFuncs are the package time functions that read or depend on the wall
+// clock (or the process scheduler). Using time.Duration values — e.g. the
+// sim.Config.Deadline field — is fine; only these calls are banned.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClockOptions configures the nowallclock analyzer.
+type NoWallClockOptions struct {
+	// AllowPackages lists import paths exempt from the check. The repository
+	// gate allows locality/internal/sim: the kernel's Config.Deadline
+	// watchdog is the one sanctioned wall-clock consumer.
+	AllowPackages []string
+}
+
+// NewNoWallClock returns the nowallclock analyzer: model code must not read
+// the wall clock. The LOCAL model's only notion of time is the round number;
+// a Machine that consults time.Now or sleeps produces results that depend on
+// host scheduling, which breaks the sequential/concurrent engine-equivalence
+// guarantee and makes fault plans and Theorem 10/11 runs non-reproducible.
+// Test files are exempt (they legitimately time deadlines and poll).
+func NewNoWallClock(opt NoWallClockOptions) *Analyzer {
+	a := &Analyzer{
+		Name: "nowallclock",
+		Doc: "forbid time.Now/Since/Sleep and friends in model code; logical time " +
+			"is the round number, and only the sim deadline machinery may consult the clock",
+	}
+	a.Run = func(pass *Pass) error {
+		if pkgAllowed(pass, opt.AllowPackages) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+					return true
+				}
+				if pass.InTestFile(call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "call of time.%s in model code: the LOCAL model's "+
+					"only clock is the round number (wall-clock reads make runs "+
+					"scheduling-dependent); deadline handling belongs to internal/sim", fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

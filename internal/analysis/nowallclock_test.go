@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"locality/internal/analysis"
+	"locality/internal/analysis/analysistest"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		analysis.NewNoWallClock(analysis.NoWallClockOptions{}), "nowallclock")
+}
+
+func TestNoWallClockAllow(t *testing.T) {
+	a := analysis.NewNoWallClock(analysis.NoWallClockOptions{AllowPackages: []string{"allowed"}})
+	analysistest.Run(t, analysistest.TestData(), a, "allowed")
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"locality/internal/analysis"
+	"locality/internal/analysis/analysistest"
+)
+
+func TestPhaseDisc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		analysis.NewPhaseDisc(analysis.PhaseDiscOptions{}), "phasedisc")
+}
+
+// TestPhaseDiscNodeAllow checks that AllowNodePackages silences only the
+// Env.Node diagnostics; the value-receiver checks must still fire, which is
+// exactly what the nodeallowed fixture's want comments encode.
+func TestPhaseDiscNodeAllow(t *testing.T) {
+	a := analysis.NewPhaseDisc(analysis.PhaseDiscOptions{AllowNodePackages: []string{"nodeallowed"}})
+	analysistest.Run(t, analysistest.TestData(), a, "nodeallowed")
+}

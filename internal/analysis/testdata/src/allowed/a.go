@@ -1,0 +1,14 @@
+// Package allowed exercises the per-package allowlists: it imports a banned
+// randomness source and reads the clock, but carries no want comments — the
+// analyzers must stay silent when this path is configured as exempt.
+package allowed
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter mixes both exemptions in one helper.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Millisecond
+}

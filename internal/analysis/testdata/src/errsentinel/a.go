@@ -1,0 +1,45 @@
+// Package errsentinel is the fixture for the errsentinel analyzer: error-
+// text matching and ==/!= error comparisons are flagged, errors.Is and nil
+// checks are accepted.
+package errsentinel
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrNodePanic mimics the kernel sentinel.
+var ErrNodePanic = errors.New("sim: machine panicked")
+
+// ClassifyByText matches on rendered text — both checks flagged.
+func ClassifyByText(err error) string {
+	if err.Error() == "sim: machine panicked" { // want `comparing err.Error\(\) text`
+		return "panic"
+	}
+	if strings.Contains(err.Error(), "over-send") { // want `matching on error text with strings.Contains`
+		return "over-send"
+	}
+	return "other"
+}
+
+// CompareSentinels compares error values directly — flagged (wrapping
+// breaks ==).
+func CompareSentinels(err error) bool {
+	return err == ErrNodePanic // want `comparing error values with ==`
+}
+
+// Classify is the sanctioned pattern — accepted.
+func Classify(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if errors.Is(err, ErrNodePanic) {
+		return "panic"
+	}
+	return "other"
+}
+
+// ContainsLabel matches text that is not error text — accepted.
+func ContainsLabel(s string) bool {
+	return strings.Contains(s, "panic")
+}

@@ -1,0 +1,37 @@
+// Package nodeallowed exercises phasedisc's AllowNodePackages exemption:
+// Env.Node observation is permitted here (no want comment on it), but the
+// value-receiver discipline still applies.
+package nodeallowed
+
+// Env mirrors the simulator environment shape.
+type Env struct {
+	Node   int
+	Degree int
+}
+
+// Message mirrors the simulator message type.
+type Message any
+
+// shim observes Env.Node — allowed in this package (fault-injection-style
+// instrumentation).
+type shim struct {
+	env Env
+}
+
+func (m *shim) Init(env Env) { m.env = env }
+func (m *shim) Step(step int, recv []Message) ([]Message, bool) {
+	return nil, m.env.Node == 0 // exempted via AllowNodePackages
+}
+func (m *shim) Output() any { return nil }
+
+// leaky still violates the receiver discipline — flagged even here.
+type leaky struct {
+	n int
+}
+
+func (m leaky) Init(env Env) {}
+func (m leaky) Step(step int, recv []Message) ([]Message, bool) { // want `\(leaky\).Step mutates field "n" through a value receiver`
+	m.n = step
+	return nil, true
+}
+func (m leaky) Output() any { return m.n }

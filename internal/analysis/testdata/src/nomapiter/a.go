@@ -1,0 +1,62 @@
+// Package nomapiter is the fixture for the nomapiter analyzer: slices built
+// under map iteration are flagged unless the function sorts them.
+package nomapiter
+
+import "sort"
+
+// Message is a stand-in for a simulator message payload.
+type Message struct {
+	Neighbors []int
+}
+
+// BuildUnsorted leaks map order into the payload — flagged.
+func BuildUnsorted(nbrs map[int]bool) Message {
+	var ids []int
+	for id := range nbrs { // want `range over map appends to "ids" in nondeterministic order`
+		ids = append(ids, id)
+	}
+	return Message{Neighbors: ids}
+}
+
+// BuildSorted is the sanctioned idiom — collect, sort, then send. Accepted.
+func BuildSorted(nbrs map[int]bool) Message {
+	var ids []int
+	for id := range nbrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return Message{Neighbors: ids}
+}
+
+// MaxKey only aggregates; no slice escapes, so the range is accepted.
+func MaxKey(nbrs map[int]bool) int {
+	best := -1
+	for id := range nbrs {
+		if id > best {
+			best = id
+		}
+	}
+	return best
+}
+
+// SortSliceVariant uses sort.Slice evidence instead of sort.Ints. Accepted.
+func SortSliceVariant(weights map[string]float64) []string {
+	var keys []string
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TwoSlices sorts only one of the two collected slices — the other is
+// flagged.
+func TwoSlices(nbrs map[int]bool) ([]int, []int) {
+	var sorted, raw []int
+	for id := range nbrs { // want `range over map appends to "raw" in nondeterministic order`
+		sorted = append(sorted, id)
+		raw = append(raw, id+1)
+	}
+	sort.Ints(sorted)
+	return sorted, raw
+}

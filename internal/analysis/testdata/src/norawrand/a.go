@@ -1,0 +1,22 @@
+// Package norawrand is the fixture for the norawrand analyzer: raw
+// randomness imports are flagged, the internal/rng route is accepted.
+package norawrand
+
+import (
+	crand "crypto/rand" // want `import of "crypto/rand" is forbidden in model code`
+	"math/rand"         // want `import of "math/rand" is forbidden in model code`
+
+	"locality/internal/rng" // accepted: the sanctioned randomness source
+)
+
+// UseRaw consumes the banned imports so the fixture type-checks.
+func UseRaw() int {
+	buf := make([]byte, 1)
+	_, _ = crand.Read(buf)
+	return rand.Int() + int(buf[0])
+}
+
+// UseRNG is the accepted pattern: a per-node deterministic stream.
+func UseRNG(seed uint64, node int) uint64 {
+	return rng.NewNode(seed, node).Uint64()
+}

@@ -1,0 +1,8 @@
+package norawrand
+
+import "math/rand" // accepted: test files may use raw randomness
+
+// shuffleForTest documents the test-file exemption.
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

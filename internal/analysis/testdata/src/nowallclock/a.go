@@ -1,0 +1,22 @@
+// Package nowallclock is the fixture for the nowallclock analyzer: clock
+// reads are flagged, plain time.Duration plumbing is accepted.
+package nowallclock
+
+import "time"
+
+// Deadline carries a duration — accepted: no clock is consulted.
+type Deadline struct {
+	Budget time.Duration
+}
+
+// Elapsed reads the wall clock twice and sleeps — all three flagged.
+func Elapsed(d Deadline) bool {
+	start := time.Now()                 // want `call of time.Now in model code`
+	time.Sleep(time.Millisecond)        // want `call of time.Sleep in model code`
+	return time.Since(start) > d.Budget // want `call of time.Since in model code`
+}
+
+// Scale is accepted: arithmetic on durations never reads the clock.
+func Scale(d Deadline, k int) time.Duration {
+	return d.Budget * time.Duration(k)
+}

@@ -1,0 +1,9 @@
+package nowallclock
+
+import "time"
+
+// waitForTest documents the test-file exemption: tests may poll and sleep.
+func waitForTest() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,65 @@
+// Package phasedisc is the fixture for the phasedisc analyzer: machines
+// with value receivers that mutate state, and machines observing Env.Node,
+// are flagged; the disciplined pointer-receiver machine is accepted.
+package phasedisc
+
+// Env mirrors the simulator environment shape (the analyzer matches the
+// type name and field, not the import path, so fixtures stay self-contained).
+type Env struct {
+	Node   int
+	Degree int
+}
+
+// Message mirrors the simulator message type.
+type Message any
+
+// good is the disciplined machine — pointer receivers, no Env.Node. Accepted.
+type good struct {
+	env   Env
+	round int
+}
+
+func (m *good) Init(env Env) { m.env = env }
+func (m *good) Step(step int, recv []Message) ([]Message, bool) {
+	m.round = step
+	return nil, step > 3
+}
+func (m *good) Output() any { return m.round }
+
+// lossy mutates state through value receivers — Init and Step flagged.
+type lossy struct {
+	env   Env
+	count int
+}
+
+func (m lossy) Init(env Env) { m.env = env } // want `\(lossy\).Init mutates field "env" through a value receiver`
+func (m lossy) Step(step int, recv []Message) ([]Message, bool) { // want `\(lossy\).Step mutates field "count" through a value receiver`
+	m.count++
+	return nil, true
+}
+func (m lossy) Output() any { return m.count }
+
+// nosy branches on the host vertex index — flagged at the selector.
+type nosy struct {
+	env Env
+}
+
+func (m *nosy) Init(env Env) { m.env = env }
+func (m *nosy) Step(step int, recv []Message) ([]Message, bool) {
+	if m.env.Node == 0 { // want `machine nosy observes Env.Node`
+		return nil, true
+	}
+	return make([]Message, m.env.Degree), false
+}
+func (m *nosy) Output() any { return nil }
+
+// helper is not a machine (no Output), so its value receiver is accepted.
+type helper struct {
+	n int
+}
+
+func (h helper) Init(env Env) {}
+func (h helper) Step(step int, recv []Message) ([]Message, bool) {
+	h.n = step
+	return nil, true
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"testing"
+
+	"locality/internal/rng"
+)
+
+// FuzzGenerateTree drives RandomTree across the (seed, n, maxDeg) input
+// space and checks the structural invariants the experiments rely on: the
+// result is a tree on exactly n vertices (n-1 edges, connected, acyclic)
+// respecting the degree cap, and the construction is deterministic in the
+// seed.
+func FuzzGenerateTree(f *testing.F) {
+	f.Add(uint64(1), 1, 2)
+	f.Add(uint64(7), 2, 2)
+	f.Add(uint64(42), 64, 3)
+	f.Add(uint64(0), 200, 16)
+	f.Fuzz(func(t *testing.T, seed uint64, n, maxDeg int) {
+		// Clamp into the documented domain; out-of-domain inputs panic by
+		// contract and are not interesting to fuzz.
+		n = 1 + mod(n, 256)
+		maxDeg = 2 + mod(maxDeg, 15)
+
+		g := RandomTree(n, maxDeg, rng.New(seed))
+		if g.N() != n {
+			t.Fatalf("RandomTree(%d, %d): got %d vertices", n, maxDeg, g.N())
+		}
+		if g.M() != n-1 {
+			t.Fatalf("RandomTree(%d, %d): got %d edges, want %d", n, maxDeg, g.M(), n-1)
+		}
+		if !g.IsTree() {
+			t.Fatalf("RandomTree(%d, %d) seed=%d: result is not a tree", n, maxDeg, seed)
+		}
+		for v := 0; v < n; v++ {
+			if d := g.Degree(v); d > maxDeg {
+				t.Fatalf("RandomTree(%d, %d): vertex %d has degree %d", n, maxDeg, v, d)
+			}
+		}
+
+		// Same seed, same tree: compare the full port structure.
+		h := RandomTree(n, maxDeg, rng.New(seed))
+		for v := 0; v < n; v++ {
+			gp, hp := g.Ports(v), h.Ports(v)
+			if len(gp) != len(hp) {
+				t.Fatalf("seed %d not reproducible: vertex %d degree %d vs %d", seed, v, len(gp), len(hp))
+			}
+			for i := range gp {
+				if gp[i] != hp[i] {
+					t.Fatalf("seed %d not reproducible: vertex %d port %d: %v vs %v", seed, v, i, gp[i], hp[i])
+				}
+			}
+		}
+	})
+}
+
+// mod maps x into [0, m) for any int, unlike the % operator on negatives.
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

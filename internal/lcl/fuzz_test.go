@@ -1,0 +1,102 @@
+package lcl
+
+import (
+	"testing"
+
+	"locality/internal/graph"
+	"locality/internal/rng"
+)
+
+// FuzzLCLCheck throws arbitrary (including garbage-typed and wrong-length)
+// labelings at the LCL judges and checks the graceful-degradation contract:
+// Violations never panics, its Report tallies are internally consistent,
+// and it agrees with the strict Validate on whether the labeling is a
+// solution.
+func FuzzLCLCheck(f *testing.F) {
+	f.Add(uint64(1), 8, 3, 0, []byte{0, 1, 2, 3})
+	f.Add(uint64(2), 1, 2, 1, []byte{})
+	f.Add(uint64(3), 32, 4, 2, []byte{255, 0, 7})
+	f.Add(uint64(4), 5, 2, 3, []byte{1, 1, 1, 1, 1, 9})
+	f.Fuzz(func(t *testing.T, seed uint64, n, maxDeg, which int, raw []byte) {
+		n = 1 + mod(n, 64)
+		maxDeg = 2 + mod(maxDeg, 6)
+		g := graph.RandomTree(n, maxDeg, rng.New(seed))
+		inst := Instance{G: g}
+
+		var p Problem
+		var out []any
+		// Labels come straight from the fuzz bytes; length is whatever the
+		// byte slice dictates, deliberately including len != n.
+		switch mod(which, 4) {
+		case 0:
+			p = Coloring(maxDeg + 1)
+			for _, b := range raw {
+				out = append(out, int(b))
+			}
+		case 1:
+			p = MIS()
+			for _, b := range raw {
+				out = append(out, b%2 == 0)
+			}
+		case 2:
+			p = MaximalMatching()
+			for _, b := range raw {
+				out = append(out, MatchLabel(int(b)-1))
+			}
+		default:
+			p = SinklessOrientation()
+			for i, b := range raw {
+				o := OrientationLabel{Out: make([]bool, int(b)%(maxDeg+1))}
+				for j := range o.Out {
+					o.Out[j] = (i+j)%2 == 0
+				}
+				out = append(out, o)
+			}
+		}
+
+		rep := p.Violations(inst, out)
+		if rep.N != g.N() {
+			t.Fatalf("%s: Report.N = %d, want %d", p.Name, rep.N, g.N())
+		}
+		if rep.Violated < 0 || rep.Violated > rep.N {
+			t.Fatalf("%s: Violated = %d out of %d", p.Name, rep.Violated, rep.N)
+		}
+		if rep.Satisfied() != rep.N-rep.Violated {
+			t.Fatalf("%s: Satisfied() = %d, want %d", p.Name, rep.Satisfied(), rep.N-rep.Violated)
+		}
+		if fr := rep.SatisfiedFraction(); fr < 0 || fr > 1 {
+			t.Fatalf("%s: SatisfiedFraction() = %v", p.Name, fr)
+		}
+		// Worst points at the first vertex whose check failed; it stays -1
+		// both for solutions and for structural failures (nothing checked).
+		if rep.Structural != nil {
+			if rep.Worst != -1 {
+				t.Fatalf("%s: Worst = %d on a structural failure", p.Name, rep.Worst)
+			}
+		} else if (rep.Worst == -1) != (rep.Violated == 0) {
+			t.Fatalf("%s: Worst = %d with Violated = %d", p.Name, rep.Worst, rep.Violated)
+		}
+		if rep.Structural != nil && len(out) == g.N() {
+			t.Fatalf("%s: Structural = %v for a correctly-sized labeling", p.Name, rep.Structural)
+		}
+
+		err := p.Validate(inst, out)
+		clean := rep.Violated == 0 && rep.Structural == nil
+		if clean != (err == nil) {
+			t.Fatalf("%s: Violations (violated=%d structural=%v) disagrees with Validate (%v)",
+				p.Name, rep.Violated, rep.Structural, err)
+		}
+		if !clean && rep.Structural == nil && rep.WorstErr == nil {
+			t.Fatalf("%s: violated labeling but WorstErr is nil", p.Name)
+		}
+	})
+}
+
+// mod maps x into [0, m) for any int, unlike the % operator on negatives.
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

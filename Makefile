@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-kernel fuzz-smoke bench experiments
+.PHONY: all build test vet lint race race-kernel race-supervision fuzz-smoke bench experiments
 
 all: build test
 
@@ -32,11 +32,20 @@ race-kernel:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/... ./internal/fault/...
 
+# Supervision-layer race gate: the job pool and the localityd service are
+# the most concurrent non-kernel code (worker teardown, drain deadlines,
+# request limits), so CI races them explicitly in addition to the full
+# sweep above.
+race-supervision:
+	$(GO) test -race -count=1 ./internal/jobs ./cmd/localityd
+
 # Short fuzz sweep (CI smoke, not a soak): each target runs for a few
-# seconds. `go test -fuzz` accepts one target per invocation, hence two runs.
+# seconds. `go test -fuzz` accepts one target per invocation, hence one run
+# per target.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzGenerateTree -fuzztime=5s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzLCLCheck -fuzztime=5s ./internal/lcl
+	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/fault
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,0 +1,295 @@
+// Command localityd serves the experiment suite as a long-running job
+// service: submissions land in a supervised bounded-queue worker pool
+// (internal/jobs), progress is checkpointed batch by batch, and SIGTERM
+// drains gracefully — readiness flips to 503, in-flight jobs run to the
+// drain deadline, the rest are cancelled with their progress persisted for
+// a resumed run to pick up byte-identically.
+//
+//	POST   /v1/jobs      submit a job; 202 with the job ID, 429/503 when shed
+//	GET    /v1/jobs      list all jobs
+//	GET    /v1/jobs/{id} job snapshot (state, progress, result table)
+//	DELETE /v1/jobs/{id} request cancellation
+//	GET    /healthz      liveness (200 while the process serves)
+//	GET    /readyz       readiness (503 once draining)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"locality/internal/harness"
+	"locality/internal/jobs"
+)
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick,omitempty"`
+	Seed       uint64 `json:"seed"`
+	// TimeoutMS bounds the job's running time in milliseconds (0 = none).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Reason is the stable classification ("queue_full", "draining",
+	// "unknown_experiment", ...), when one applies.
+	Reason string `json:"reason,omitempty"`
+	// QueueLen/QueueCap report shed-time queue occupancy.
+	QueueLen int `json:"queue_len,omitempty"`
+	QueueCap int `json:"queue_cap,omitempty"`
+}
+
+// server wires the job pool to HTTP. It is constructed by newServer and
+// torn down by drain, both exercised directly by the tests.
+type server struct {
+	pool *jobs.Pool
+	// draining flips readiness before the pool drain begins, so /readyz
+	// reports 503 for the whole shutdown window.
+	draining atomic.Bool
+	// inflight is the request concurrency semaphore.
+	inflight chan struct{}
+	// requestTimeout bounds each request's context.
+	requestTimeout time.Duration
+}
+
+func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration) *server {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	return &server{
+		pool:           pool,
+		inflight:       make(chan struct{}, maxInflight),
+		requestTimeout: requestTimeout,
+	}
+}
+
+// handler builds the routed, limited, deadline-bounded HTTP handler.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() || s.pool.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: "draining", Reason: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return s.limit(mux)
+}
+
+// limit is the backpressure middleware: at most cap(inflight) concurrent
+// requests, each bounded by the per-request timeout. Excess requests are
+// rejected immediately with 503 — the service sheds, it never queues
+// invisibly.
+func (s *server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: "too many concurrent requests", Reason: "overloaded"})
+			return
+		}
+		if s.requestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("decoding request: %v", err), Reason: "bad_request"})
+		return
+	}
+	id, err := s.pool.Submit(jobs.Spec{
+		Experiment: req.Experiment,
+		Quick:      req.Quick,
+		Seed:       req.Seed,
+		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeJSON(w, shedStatus(err), shedResponse(err))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.pool.List()})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "unknown job", Reason: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.pool.Cancel(r.PathValue("id")); err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: err.Error(), Reason: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+}
+
+// shedStatus maps a rejected submission to its HTTP status: client errors
+// are 400, a full queue is 429 (retryable by the same client later), and a
+// draining pool is 503 (route elsewhere).
+func shedStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrUnknownExperiment):
+		return http.StatusBadRequest
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// shedResponse renders the structured rejection.
+func shedResponse(err error) errorResponse {
+	resp := errorResponse{Error: err.Error()}
+	switch {
+	case errors.Is(err, jobs.ErrUnknownExperiment):
+		resp.Reason = "unknown_experiment"
+	case errors.Is(err, jobs.ErrQueueFull):
+		resp.Reason = "queue_full"
+	case errors.Is(err, jobs.ErrDraining):
+		resp.Reason = "draining"
+	}
+	var shed *jobs.ShedError
+	if errors.As(err, &shed) {
+		resp.QueueLen, resp.QueueCap = shed.QueueLen, shed.QueueCap
+	}
+	return resp
+}
+
+// drain is the graceful-shutdown sequence: readiness flips first (load
+// balancers stop routing while the listener still answers probes), then the
+// pool drains to the deadline — cancelling and checkpointing whatever
+// remains. The returned error reports a forced (deadline-hit) drain.
+func (s *server) drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Close(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8177", "listen address")
+		workers        = flag.Int("workers", 2, "concurrent experiment runners")
+		queueDepth     = flag.Int("queue", 16, "submission queue bound (excess is shed)")
+		checkpointDir  = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty = in-memory only)")
+		retryBudget    = flag.Int("retry", 1, "attempts per job for transient failures")
+		retryBase      = flag.Duration("retry-base", 100*time.Millisecond, "base backoff between retry attempts")
+		retryMax       = flag.Duration("retry-max", 5*time.Second, "backoff cap")
+		backoffSeed    = flag.Uint64("backoff-seed", 1, "seed for the deterministic backoff jitter")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		requestTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline")
+		maxInflight    = flag.Int("max-inflight", 64, "concurrent request limit (excess rejected 503)")
+	)
+	flag.Parse()
+	if err := run(*addr, jobs.Options{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CheckpointDir: *checkpointDir,
+		RetryBudget:   *retryBudget,
+		Backoff:       harness.Backoff{Base: *retryBase, Max: *retryMax, Seed: *backoffSeed},
+	}, *drainTimeout, *requestTimeout, *maxInflight); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run resolves the listen address; serve owns the lifecycle.
+func run(addr string, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("localityd: listen: %w", err)
+	}
+	return serve(ln, poolOpts, drainTimeout, requestTimeout, maxInflight)
+}
+
+// serve runs the service on an existing listener until SIGTERM/SIGINT, then
+// drains: readiness flips, the pool runs down to the drain deadline
+// (checkpointing whatever it must cancel), and every goroutine is reaped
+// before serve returns.
+func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int) error {
+	pool := jobs.New(poolOpts)
+	s := newServer(pool, maxInflight, requestTimeout)
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("localityd listening on %s", ln.Addr())
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("localityd: serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("localityd: draining (deadline %v)", drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.drain(drainCtx); err != nil {
+		log.Printf("localityd: %v (remaining jobs cancelled and checkpointed)", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("localityd: shutdown: %w", err)
+	}
+	log.Printf("localityd: drained")
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -82,6 +83,23 @@ func pkgAllowed(p *Pass, allow []string) bool {
 	path := p.Pkg.Path()
 	for _, a := range allow {
 		if a == path {
+			return true
+		}
+	}
+	return false
+}
+
+// fileAllowed reports whether the file containing pos is in the allowlist
+// of slash-separated path suffixes (e.g. "internal/harness/retry.go").
+// Analyzer options use it for exceptions narrower than a whole package: one
+// sanctioned file, everything around it still checked.
+func fileAllowed(p *Pass, pos token.Pos, allow []string) bool {
+	if len(allow) == 0 {
+		return false
+	}
+	name := filepath.ToSlash(p.Fset.Position(pos).Filename)
+	for _, suffix := range allow {
+		if strings.HasSuffix(name, suffix) {
 			return true
 		}
 	}

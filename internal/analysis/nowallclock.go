@@ -20,9 +20,15 @@ var clockFuncs = map[string]bool{
 // NoWallClockOptions configures the nowallclock analyzer.
 type NoWallClockOptions struct {
 	// AllowPackages lists import paths exempt from the check. The repository
-	// gate allows locality/internal/sim: the kernel's Config.Deadline
-	// watchdog is the one sanctioned wall-clock consumer.
+	// gate allows locality/internal/sim (the kernel's Config.Deadline
+	// watchdog) and the supervision layer (internal/jobs, cmd/localityd),
+	// whose drain deadlines and backoff waits are wall-clock by nature.
 	AllowPackages []string
+	// AllowFiles lists slash-separated file path suffixes exempt from the
+	// check — for a package with exactly one sanctioned clock consumer
+	// (harness/retry.go's backoff wait), leaving the rest of the package
+	// under the ban.
+	AllowFiles []string
 }
 
 // NewNoWallClock returns the nowallclock analyzer: model code must not read
@@ -42,6 +48,9 @@ func NewNoWallClock(opt NoWallClockOptions) *Analyzer {
 			return nil
 		}
 		for _, f := range pass.Files {
+			if fileAllowed(pass, f.Pos(), opt.AllowFiles) {
+				continue
+			}
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {

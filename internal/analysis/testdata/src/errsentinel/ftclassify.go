@@ -1,0 +1,55 @@
+package errsentinel
+
+import (
+	"errors"
+	"strings"
+)
+
+// This fixture replays the regression the harness's ftErrString (E12's
+// error-cell renderer) must never reintroduce: classifying run errors by
+// their rendered text instead of errors.Is against the structured
+// sentinels. The kernel and supervision layers always wrap their sentinels
+// with run context ("sim: run cancelled at round 7: context canceled"), so
+// every text match below is one rewording away from misclassification —
+// and each is flagged.
+
+// Mimics of the sentinels the real code classifies against.
+var (
+	errMaxRounds = errors.New("sim: exceeded maximum rounds")
+	errDeadline  = errors.New("sim: deadline exceeded")
+)
+
+// ftErrStringRegressed is the flagged shape: a table-cell classifier built
+// on error text.
+func ftErrStringRegressed(err error) string {
+	if err == nil {
+		return "none"
+	}
+	if strings.Contains(err.Error(), "maximum rounds") { // want `matching on error text with strings.Contains`
+		return "max rounds"
+	}
+	if strings.HasPrefix(err.Error(), "sim: deadline") { // want `matching on error text with strings.HasPrefix`
+		return "deadline"
+	}
+	if err.Error() == "context canceled" { // want `comparing err.Error\(\) text`
+		return "cancelled"
+	}
+	if err == errMaxRounds { // want `comparing error values with ==`
+		return "max rounds"
+	}
+	return "unclassified"
+}
+
+// ftErrStringSanctioned is the accepted shape the real ftErrString uses:
+// classification flows through errors.Is, so wrapping never breaks it.
+func ftErrStringSanctioned(err error) string {
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, errMaxRounds):
+		return "max rounds"
+	case errors.Is(err, errDeadline):
+		return "deadline"
+	}
+	return "unclassified"
+}

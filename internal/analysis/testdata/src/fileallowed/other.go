@@ -1,0 +1,8 @@
+package fileallowed
+
+import "time"
+
+// Stamp lives outside the allowlisted file, so the ban still applies.
+func Stamp() time.Time {
+	return time.Now() // want `call of time.Now in model code`
+}

@@ -1,0 +1,18 @@
+// Package fileallowed exercises NoWallClockOptions.AllowFiles: this file is
+// configured as the package's one sanctioned clock consumer (no want
+// comments), while clock reads anywhere else in the package stay flagged.
+package fileallowed
+
+import "time"
+
+// Wait is the sanctioned wall-clock consumer.
+func Wait(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// Sleepy is also exempt — the exemption is per file, not per function.
+func Sleepy() {
+	time.Sleep(time.Millisecond)
+}

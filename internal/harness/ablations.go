@@ -71,32 +71,34 @@ func E13Indistinguishability(cfg Config) *Table {
 			t.Note("girth %d: %v (skipped)", minGirth, err)
 			continue
 		}
-		tRounds := (minGirth - 2) / 2 // 2t+1 < g
-		res, err := sim.Run(ecg.Graph, sim.Config{IDs: ids.Sequential(ecg.N())},
-			view.NewCollectMachineFactory(tRounds, nil))
-		if err != nil {
-			panic(fmt.Sprintf("harness: E13 collection: %v", err))
-		}
-		allTrees := "yes"
-		for v := 0; v < ecg.N(); v++ {
-			ballVerts := ecg.BallVertices(v, tRounds)
-			keep := make([]bool, ecg.N())
-			for _, u := range ballVerts {
-				keep[u] = true
+		cfg.Row(t, func() {
+			tRounds := (minGirth - 2) / 2 // 2t+1 < g
+			res, err := sim.Run(ecg.Graph, sim.Config{IDs: ids.Sequential(ecg.N())},
+				view.NewCollectMachineFactory(tRounds, nil))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E13 collection: %v", err))
 			}
-			sub, _, _ := ecg.InducedSubgraph(keep)
-			if !sub.IsTree() {
-				allTrees = "NO"
-				break
+			allTrees := "yes"
+			for v := 0; v < ecg.N(); v++ {
+				ballVerts := ecg.BallVertices(v, tRounds)
+				keep := make([]bool, ecg.N())
+				for _, u := range ballVerts {
+					keep[u] = true
+				}
+				sub, _, _ := ecg.InducedSubgraph(keep)
+				if !sub.IsTree() {
+					allTrees = "NO"
+					break
+				}
+				// The collected ball must agree on the vertex count.
+				ball := res.Outputs[v].(*view.Ball)
+				if ball.N() != len(ballVerts) {
+					allTrees = "NO (collection mismatch)"
+					break
+				}
 			}
-			// The collected ball must agree on the vertex count.
-			ball := res.Outputs[v].(*view.Ball)
-			if ball.N() != len(ballVerts) {
-				allTrees = "NO (collection mismatch)"
-				break
-			}
-		}
-		t.AddRow(ecg.N(), d, minGirth, tRounds, ecg.N(), allTrees)
+			t.AddRow(ecg.N(), d, minGirth, tRounds, ecg.N(), allTrees)
+		})
 	}
 	t.Note("this is the 'hard graphs have girth Ω(log_Δ n), so the lower bounds also apply " +
 		"to trees' step of Theorems 4 and 5, checked instance by instance")
@@ -120,27 +122,29 @@ func A1KWvsSweep(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 21)
 	for _, delta := range []int{4, 8, 16, 32} {
 		g := graph.RandomTree(n, delta, r)
-		dd := g.MaxDegree()
 		assignment := ids.Shuffled(n, r)
-		fp := linial.FixedPoint(n, dd)
-		valid := true
-		var rounds [2]int
-		for i, kw := range []bool{false, true} {
-			opt := linial.Options{InitialPalette: n, Delta: dd, Target: dd + 1, KW: kw}
-			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, linial.NewFactory(opt))
-			if err != nil {
-				panic(fmt.Sprintf("harness: A1 run: %v", err))
+		cfg.Row(t, func() {
+			dd := g.MaxDegree()
+			fp := linial.FixedPoint(n, dd)
+			valid := true
+			var rounds [2]int
+			for i, kw := range []bool{false, true} {
+				opt := linial.Options{InitialPalette: n, Delta: dd, Target: dd + 1, KW: kw}
+				res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, linial.NewFactory(opt))
+				if err != nil {
+					panic(fmt.Sprintf("harness: A1 run: %v", err))
+				}
+				rounds[i] = res.Rounds
+				if lcl.Coloring(dd+1).Validate(lcl.Instance{G: g}, lcl.IntLabels(sim.IntOutputs(res))) != nil {
+					valid = false
+				}
 			}
-			rounds[i] = res.Rounds
-			if lcl.Coloring(dd+1).Validate(lcl.Instance{G: g}, lcl.IntLabels(sim.IntOutputs(res))) != nil {
-				valid = false
+			okStr := "yes"
+			if !valid {
+				okStr = "NO"
 			}
-		}
-		okStr := "yes"
-		if !valid {
-			okStr = "NO"
-		}
-		t.AddRow(dd, fp, rounds[0], rounds[1], okStr)
+			t.AddRow(dd, fp, rounds[0], rounds[1], okStr)
+		})
 	}
 	return t
 }
@@ -164,14 +168,16 @@ func A2PeelThreshold(cfg Config) *Table {
 	g := graph.RandomTree(n, 12, r)
 	assignment := ids.Shuffled(n, r)
 	for _, a := range []int{2, 4, 8, 11} {
-		opt := forest.Options{Q: 12, A: a}
-		plan := forest.NewPlan(opt.Resolve(n))
-		res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, forest.NewFactory(opt))
-		if err != nil {
-			panic(fmt.Sprintf("harness: A2 run: %v", err))
-		}
-		t.AddRow(a, n, plan.Peel, res.Rounds,
-			checkColoring(g, 12, sim.IntOutputs(res)))
+		cfg.Row(t, func() {
+			opt := forest.Options{Q: 12, A: a}
+			plan := forest.NewPlan(opt.Resolve(n))
+			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, forest.NewFactory(opt))
+			if err != nil {
+				panic(fmt.Sprintf("harness: A2 run: %v", err))
+			}
+			t.AddRow(a, n, plan.Peel, res.Rounds,
+				checkColoring(g, 12, sim.IntOutputs(res)))
+		})
 	}
 	return t
 }
@@ -195,19 +201,21 @@ func A3SizeBound(cfg Config) *Table {
 	g := graph.RandomTree(n, 4, r)
 	logn := mathx.CeilLog2(n + 1)
 	for _, bound := range []int{3, 2 * logn, 8 * logn, 32 * logn} {
-		res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bound), MaxRounds: 1 << 22},
-			core.NewT11Factory(core.T11Options{Delta: 4, SizeBound: bound}))
-		if err != nil {
-			panic(fmt.Sprintf("harness: A3 run: %v", err))
-		}
-		colors := core.Colors(res.Outputs)
-		failed := 0
-		for _, c := range colors {
-			if c == 0 {
-				failed++
+		cfg.Row(t, func() {
+			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bound), MaxRounds: 1 << 22},
+				core.NewT11Factory(core.T11Options{Delta: 4, SizeBound: bound}))
+			if err != nil {
+				panic(fmt.Sprintf("harness: A3 run: %v", err))
 			}
-		}
-		t.AddRow(bound, n, res.Rounds, failed, checkColoring(g, 4, colors))
+			colors := core.Colors(res.Outputs)
+			failed := 0
+			for _, c := range colors {
+				if c == 0 {
+					failed++
+				}
+			}
+			t.AddRow(bound, n, res.Rounds, failed, checkColoring(g, 4, colors))
+		})
 	}
 	t.Note("even the tiny bound rarely fails in practice: the shattered components are " +
 		"path-like (S lives inside a degree-<=3 leftover forest) and peel within any budget; " +

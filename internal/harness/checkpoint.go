@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Row-level sweep checkpointing.
+//
+// Every experiment driver is a deterministic function of its Config: the
+// same (Quick, Seed) produces byte-identical tables. Checkpointing exploits
+// that determinism to make sweeps resumable: a driver wraps each expensive
+// row computation in cfg.Row(t, compute), and the completed rows are
+// recorded — batch by batch, in sweep order — into a Checkpoint that a
+// supervision layer (internal/jobs, cmd/localityd) persists as JSON. A
+// killed or cancelled sweep re-run with Config.Resume replays the recorded
+// batches verbatim and recomputes only the remainder, producing the same
+// bytes an uninterrupted run would have.
+//
+// The discipline that makes replay sound: everything a row computation
+// draws from an RNG stream shared across rows (graph generation, ID
+// assignments) happens in the "prep" section *outside* cfg.Row, so a
+// resumed sweep consumes the stream identically whether a row is replayed
+// or recomputed; inside compute, randomness comes only from per-row seeds
+// derived from Config.Seed. Notes are always recomputed — drivers that
+// summarize across rows parse the (replayed or fresh) row cells, never
+// loop-carried state.
+
+// Checkpoint is the resume state of one experiment sweep: the AddRow
+// batches completed so far, tagged with the identity of the run they came
+// from. It round-trips through JSON unchanged.
+type Checkpoint struct {
+	// Experiment is the table ID of the sweep ("E1" ... "A3").
+	Experiment string `json:"experiment"`
+	// Seed and Quick identify the run; a checkpoint only resumes a run
+	// with the same identity (determinism is per (Experiment, Seed, Quick)).
+	Seed  uint64 `json:"seed"`
+	Quick bool   `json:"quick"`
+	// Batches holds, per completed cfg.Row call, the table rows that call
+	// appended, in sweep order.
+	Batches [][][]string `json:"batches"`
+}
+
+// Compatible reports whether the checkpoint can seed a resumed run of the
+// experiment with the given config.
+func (ck *Checkpoint) Compatible(experiment string, cfg Config) bool {
+	return ck != nil && ck.Experiment == experiment && ck.Seed == cfg.Seed && ck.Quick == cfg.Quick
+}
+
+// Rows counts the table rows recorded across all completed batches.
+func (ck *Checkpoint) Rows() int {
+	if ck == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range ck.Batches {
+		n += len(b)
+	}
+	return n
+}
+
+// Clone returns a deep copy, safe to retain after the sweep mutates the
+// original.
+func (ck *Checkpoint) Clone() *Checkpoint {
+	if ck == nil {
+		return nil
+	}
+	c := &Checkpoint{Experiment: ck.Experiment, Seed: ck.Seed, Quick: ck.Quick}
+	c.Batches = make([][][]string, len(ck.Batches))
+	for i, batch := range ck.Batches {
+		c.Batches[i] = cloneBatch(batch)
+	}
+	return c
+}
+
+// Encode marshals the checkpoint as JSON.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	return json.Marshal(ck)
+}
+
+// DecodeCheckpoint unmarshals a checkpoint previously produced by Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("harness: decoding checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// ErrSweepInterrupted is the sentinel for a sweep abandoned between rows by
+// Config.Ctx cancellation; test with errors.Is. The concrete error also
+// unwraps to the context cause (context.Canceled or DeadlineExceeded).
+var ErrSweepInterrupted = errors.New("harness: sweep interrupted between rows")
+
+// SweepError is panicked by Config.Row when the sweep's context dies. The
+// experiment drivers' established failure mode is panic (they have no error
+// returns), so cancellation rides the same channel; supervision layers
+// recover it and classify with errors.Is against ErrSweepInterrupted and
+// the context sentinels. Work completed before the interruption has already
+// been handed to Config.OnBatch.
+type SweepError struct {
+	// Experiment is the interrupted table's ID.
+	Experiment string
+	// BatchesDone counts the cfg.Row calls completed (replayed or fresh)
+	// before the interruption.
+	BatchesDone int
+	// Cause is the context cause that killed the sweep.
+	Cause error
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("harness: %s sweep interrupted after %d row batches: %v",
+		e.Experiment, e.BatchesDone, e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the context cause to errors.Is.
+func (e *SweepError) Unwrap() []error { return []error{ErrSweepInterrupted, e.Cause} }
+
+// sweepState is a Table's in-flight checkpoint bookkeeping, attached by the
+// first cfg.Row call.
+type sweepState struct {
+	ctx     context.Context
+	onBatch func(*Checkpoint)
+	ck      *Checkpoint
+	next    int // index of the next batch to replay or record
+}
+
+// sweepInit attaches checkpoint state to the table on the first Row call.
+func (t *Table) sweepInit(c Config) *sweepState {
+	if t.sweep != nil {
+		return t.sweep
+	}
+	s := &sweepState{
+		ctx:     c.Ctx,
+		onBatch: c.OnBatch,
+		ck:      &Checkpoint{Experiment: t.ID, Seed: c.Seed, Quick: c.Quick},
+	}
+	if c.Resume.Compatible(t.ID, c) {
+		for _, batch := range c.Resume.Batches {
+			s.ck.Batches = append(s.ck.Batches, cloneBatch(batch))
+		}
+	}
+	t.sweep = s
+	return s
+}
+
+// Row runs one checkpointable unit of a sweep. If the resumed checkpoint
+// already holds this batch, the recorded rows are appended to the table and
+// compute is skipped; otherwise compute runs (appending rows via t.AddRow
+// as usual), the fresh batch is recorded, and Config.OnBatch — if set — is
+// handed the checkpoint so far for persistence. Between batches, Row aborts
+// the sweep with a panicked *SweepError when Config.Ctx is dead.
+//
+// Replay discipline (see the file comment): draws from RNG streams shared
+// across rows belong before Row, not inside compute.
+func (c Config) Row(t *Table, compute func()) {
+	s := t.sweepInit(c)
+	if s.ctx != nil && s.ctx.Err() != nil {
+		panic(&SweepError{Experiment: t.ID, BatchesDone: s.next, Cause: context.Cause(s.ctx)})
+	}
+	if s.next < len(s.ck.Batches) {
+		for _, row := range s.ck.Batches[s.next] {
+			t.Rows = append(t.Rows, append([]string(nil), row...))
+		}
+		s.next++
+		return
+	}
+	start := len(t.Rows)
+	compute()
+	s.ck.Batches = append(s.ck.Batches, cloneBatch(t.Rows[start:]))
+	s.next++
+	if s.onBatch != nil {
+		s.onBatch(s.ck)
+	}
+}
+
+// ctx returns the sweep context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// cloneBatch deep-copies a slice of rows.
+func cloneBatch(batch [][]string) [][]string {
+	out := make([][]string, len(batch))
+	for i, row := range batch {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"locality/internal/core"
@@ -60,6 +61,17 @@ func checkColoring(g *graph.Graph, q int, colors []int) string {
 	return "yes"
 }
 
+// rowInt parses an integer cell out of a completed table row. Cross-row
+// notes use it instead of loop-carried state so that checkpoint-replayed
+// rows (Config.Row) feed the notes exactly as freshly computed ones do.
+func rowInt(t *Table, row, col int) int {
+	v, err := strconv.Atoi(t.Rows[row][col])
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s row %d col %d is not an int: %q", t.ID, row, col, t.Rows[row][col]))
+	}
+	return v
+}
+
 // E1Separation is the headline (Section I, result 1): Δ-coloring trees is
 // O(log_Δ log n + log* n) in RandLOCAL vs Θ(log_Δ n) in DetLOCAL — rounds
 // of the Theorem 11 machine vs the Theorem 9 baseline across an n sweep.
@@ -77,28 +89,33 @@ func E1Separation(cfg Config) *Table {
 		delta = 55
 	}
 	r := rng.New(cfg.Seed + 1)
-	var firstRand, lastRand, firstDet, lastDet int
-	for i, n := range sizes {
+	for _, n := range sizes {
+		// Prep: shared-stream draws stay outside Row so a resumed sweep
+		// consumes r identically (see checkpoint.go).
 		g := graph.RandomTree(n, delta, r)
-		randRes, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n), MaxRounds: 1 << 22},
-			core.NewT11Factory(core.T11Options{Delta: delta}))
-		if err != nil {
-			panic(fmt.Sprintf("harness: E1 rand run: %v", err))
-		}
-		randColors := core.Colors(randRes.Outputs)
-		detRes, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
-			forest.NewFactory(forest.Options{Q: delta}))
-		if err != nil {
-			panic(fmt.Sprintf("harness: E1 det run: %v", err))
-		}
-		detColors := sim.IntOutputs(detRes)
-		t.AddRow(n, delta, randRes.Rounds, checkColoring(g, delta, randColors),
-			detRes.Rounds, checkColoring(g, delta, detColors))
-		if i == 0 {
-			firstRand, firstDet = randRes.Rounds, detRes.Rounds
-		}
-		lastRand, lastDet = randRes.Rounds, detRes.Rounds
+		assignment := ids.Shuffled(n, r)
+		cfg.Row(t, func() {
+			randRes, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n), MaxRounds: 1 << 22},
+				core.NewT11Factory(core.T11Options{Delta: delta}))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E1 rand run: %v", err))
+			}
+			randColors := core.Colors(randRes.Outputs)
+			detRes, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22},
+				forest.NewFactory(forest.Options{Q: delta}))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E1 det run: %v", err))
+			}
+			detColors := sim.IntOutputs(detRes)
+			t.AddRow(n, delta, randRes.Rounds, checkColoring(g, delta, randColors),
+				detRes.Rounds, checkColoring(g, delta, detColors))
+		})
 	}
+	// The growth note is parsed back out of the row cells, so replayed rows
+	// contribute exactly as freshly computed ones.
+	last := len(t.Rows) - 1
+	firstRand, firstDet := rowInt(t, 0, 2), rowInt(t, 0, 4)
+	lastRand, lastDet := rowInt(t, last, 2), rowInt(t, last, 4)
 	doublings := mathx.CeilLog2(sizes[len(sizes)-1]) - mathx.CeilLog2(sizes[0])
 	t.Note("growth across %d doublings of n: det %+d rounds, rand %+d rounds — "+
 		"the separation is in the slopes (det ~ log n, rand ~ log log n)",
@@ -127,22 +144,24 @@ func E2DeltaScaling(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 2)
 	for _, delta := range []int{16, 36, 64, 100} {
 		g := graph.RandomTree(n, delta, r)
-		opt := core.T10Options{Delta: delta}
-		res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(delta), MaxRounds: 1 << 22},
-			core.NewT10Factory(opt))
-		if err != nil {
-			panic(fmt.Sprintf("harness: E2 run: %v", err))
-		}
-		colors := core.Colors(res.Outputs)
-		reserve := 0
-		for reserve*reserve < delta {
-			reserve++
-		}
-		fplan := forest.NewPlan(forest.Options{
-			Q: reserve, SizeBound: mathx.Max(32, 8*mathx.CeilLog2(n+1)), IDSpace: 1 << 40,
-		}.Resolve(n))
-		t.AddRow(delta, n, res.Rounds, checkColoring(g, delta, colors),
-			fplan.Rounds(), len(core.CSequence(delta)))
+		cfg.Row(t, func() {
+			opt := core.T10Options{Delta: delta}
+			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(delta), MaxRounds: 1 << 22},
+				core.NewT10Factory(opt))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E2 run: %v", err))
+			}
+			colors := core.Colors(res.Outputs)
+			reserve := 0
+			for reserve*reserve < delta {
+				reserve++
+			}
+			fplan := forest.NewPlan(forest.Options{
+				Q: reserve, SizeBound: mathx.Max(32, 8*mathx.CeilLog2(n+1)), IDSpace: 1 << 40,
+			}.Resolve(n))
+			t.AddRow(delta, n, res.Rounds, checkColoring(g, delta, colors),
+				fplan.Rounds(), len(core.CSequence(delta)))
+		})
 	}
 	t.Note("the Phase-2 (shattered components) plan uses palette √Δ, so its peeling base grows " +
 		"with Δ and its round count shrinks — the log_Δ log n scaling of the claim")
@@ -171,48 +190,52 @@ func E3Shattering(cfg Config) *Table {
 		// non-trivial shattered set that still obeys the bound.
 		g := completeTreeOfSize(35, n)
 		for _, slack := range []int{8, 2} {
-			totalBad, maxComp, comps := 0, 0, 0
-			for s := 0; s < seeds; s++ {
-				res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+s), MaxRounds: 1 << 22},
-					core.NewT10Factory(core.T10Options{Delta: 36, PaletteSlack: slack}))
-				if err != nil {
-					panic(fmt.Sprintf("harness: E3 T10 run: %v", err))
+			cfg.Row(t, func() {
+				totalBad, maxComp, comps := 0, 0, 0
+				for s := 0; s < seeds; s++ {
+					res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+s), MaxRounds: 1 << 22},
+						core.NewT10Factory(core.T10Options{Delta: 36, PaletteSlack: slack}))
+					if err != nil {
+						panic(fmt.Sprintf("harness: E3 T10 run: %v", err))
+					}
+					bad := make([]bool, g.N())
+					for v, o := range res.Outputs {
+						bad[v] = o.(core.T10Result).Bad
+					}
+					c := shatter.Analyze(g, bad)
+					totalBad += c.Total
+					comps += c.Count
+					if c.Max > maxComp {
+						maxComp = c.Max
+					}
 				}
-				bad := make([]bool, g.N())
-				for v, o := range res.Outputs {
-					bad[v] = o.(core.T10Result).Bad
-				}
-				c := shatter.Analyze(g, bad)
-				totalBad += c.Total
-				comps += c.Count
-				if c.Max > maxComp {
-					maxComp = c.Max
-				}
-			}
-			t.AddRow(fmt.Sprintf("T10 bad (slack=%d)", slack), g.N(), 36, totalBad, comps, maxComp, bound)
+				t.AddRow(fmt.Sprintf("T10 bad (slack=%d)", slack), g.N(), 36, totalBad, comps, maxComp, bound)
+			})
 		}
 		// Theorem 11 S set (Δ=4 keeps Phase 1 contended enough for a
 		// non-empty S), aggregated over seeds.
 		g2 := graph.RandomTree(n, 4, r)
-		totalS, maxS, compS := 0, 0, 0
-		for s := 0; s < seeds; s++ {
-			res2, err := sim.Run(g2, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+7*s) + 7, MaxRounds: 1 << 22},
-				core.NewT11Factory(core.T11Options{Delta: 4}))
-			if err != nil {
-				panic(fmt.Sprintf("harness: E3 T11 run: %v", err))
+		cfg.Row(t, func() {
+			totalS, maxS, compS := 0, 0, 0
+			for s := 0; s < seeds; s++ {
+				res2, err := sim.Run(g2, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+7*s) + 7, MaxRounds: 1 << 22},
+					core.NewT11Factory(core.T11Options{Delta: 4}))
+				if err != nil {
+					panic(fmt.Sprintf("harness: E3 T11 run: %v", err))
+				}
+				inS := make([]bool, n)
+				for v, o := range res2.Outputs {
+					inS[v] = o.(core.T11Result).InS
+				}
+				c2 := shatter.Analyze(g2, inS)
+				totalS += c2.Total
+				compS += c2.Count
+				if c2.Max > maxS {
+					maxS = c2.Max
+				}
 			}
-			inS := make([]bool, n)
-			for v, o := range res2.Outputs {
-				inS[v] = o.(core.T11Result).InS
-			}
-			c2 := shatter.Analyze(g2, inS)
-			totalS += c2.Total
-			compS += c2.Count
-			if c2.Max > maxS {
-				maxS = c2.Max
-			}
-		}
-		t.AddRow("T11 S", n, 4, totalS, compS, maxS, bound)
+			t.AddRow("T11 S", n, 4, totalS, compS, maxS, bound)
+		})
 	}
 	t.Note("counts are aggregated over %d seeds; 'max comp' is the largest component ever "+
 		"observed and should stay below the bound column for the default-filtering rows", seeds)
@@ -234,28 +257,30 @@ func E4ZeroRound(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 4)
 	trials := cfg.trials(100, 400)
 	for _, delta := range []int{3, 4, 5, 6} {
-		val, _ := sinkless.ZeroRoundMinimax(delta, 4*delta)
 		ecg := graph.RandomRegularBipartite(12, delta, r)
-		inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: delta}
-		inputs := inst.NodeInputs()
-		edges := ecg.Edges()
-		violations := 0
-		for i := 0; i < trials; i++ {
-			res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs},
-				sinkless.NewZeroRoundFactory(sinkless.Uniform(delta)))
-			if err != nil {
-				panic(fmt.Sprintf("harness: E4 run: %v", err))
-			}
-			colors := sim.IntOutputs(res)
-			for e, uv := range edges {
-				if colors[uv[0]] == ecg.Colors[e] && colors[uv[1]] == ecg.Colors[e] {
-					violations++
+		cfg.Row(t, func() {
+			val, _ := sinkless.ZeroRoundMinimax(delta, 4*delta)
+			inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: delta}
+			inputs := inst.NodeInputs()
+			edges := ecg.Edges()
+			violations := 0
+			for i := 0; i < trials; i++ {
+				res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs},
+					sinkless.NewZeroRoundFactory(sinkless.Uniform(delta)))
+				if err != nil {
+					panic(fmt.Sprintf("harness: E4 run: %v", err))
+				}
+				colors := sim.IntOutputs(res)
+				for e, uv := range edges {
+					if colors[uv[0]] == ecg.Colors[e] && colors[uv[1]] == ecg.Colors[e] {
+						violations++
+					}
 				}
 			}
-		}
-		emp := float64(violations) / float64(trials*len(edges))
-		t.AddRow(delta, val, sinkless.ZeroRoundLowerBound(delta), emp,
-			fmt.Sprintf("%d×%d", trials, len(edges)))
+			emp := float64(violations) / float64(trials*len(edges))
+			t.AddRow(delta, val, sinkless.ZeroRoundLowerBound(delta), emp,
+				fmt.Sprintf("%d×%d", trials, len(edges)))
+		})
 	}
 	return t
 }
@@ -276,23 +301,25 @@ func E5RandFromDet(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 5)
 	g := graph.RandomTree(n, 3, r)
 	for _, bits := range []int{4, 8, 12, 16} {
-		palette := speedup.Theorem5Palette(bits, n)
-		fopt := forest.Options{Q: 3, SizeBound: n, IDSpace: palette}
-		tDet := forest.NewPlan(fopt.Resolve(n)).Rounds()
-		factory := speedup.NewTheorem5Factory(tDet, bits, n, g.MaxDegree(), forest.NewFactory(fopt))
-		fails := 0
-		for i := 0; i < trials; i++ {
-			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22}, factory)
-			if err != nil {
-				panic(fmt.Sprintf("harness: E5 run: %v", err))
+		cfg.Row(t, func() {
+			palette := speedup.Theorem5Palette(bits, n)
+			fopt := forest.Options{Q: 3, SizeBound: n, IDSpace: palette}
+			tDet := forest.NewPlan(fopt.Resolve(n)).Rounds()
+			factory := speedup.NewTheorem5Factory(tDet, bits, n, g.MaxDegree(), forest.NewFactory(fopt))
+			fails := 0
+			for i := 0; i < trials; i++ {
+				res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22}, factory)
+				if err != nil {
+					panic(fmt.Sprintf("harness: E5 run: %v", err))
+				}
+				colors := sim.IntOutputs(res)
+				if lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)) != nil {
+					fails++
+				}
 			}
-			colors := sim.IntOutputs(res)
-			if lcl.Coloring(3).Validate(lcl.Instance{G: g}, lcl.IntLabels(colors)) != nil {
-				fails++
-			}
-		}
-		t.AddRow(bits, n, fails, trials, float64(fails)/float64(trials),
-			ids.CollisionProbabilityBound(n, bits))
+			t.AddRow(bits, n, fails, trials, float64(fails)/float64(trials),
+				ids.CollisionProbabilityBound(n, bits))
+		})
 	}
 	t.Note("the deterministic inner algorithm is the Theorem 9 tree 3-coloring; its round " +
 		"bound t fixes the collection radius 2t+1, and total rounds are 3t+1 = O(t) as the theorem states")
@@ -316,16 +343,19 @@ func E6Speedup(cfg Config) *Table {
 	sizes := cfg.sizes([]int{64, 256}, []int{64, 256, 1024})
 	for _, n := range sizes {
 		g := graph.RandomTree(n, delta, r)
-		bits := mathx.CeilLog2(n + 1)
-		plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
-		res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
-			speedup.NewTheorem6Factory(plan, bits, mk(plan.BitsOut)))
-		if err != nil {
-			panic(fmt.Sprintf("harness: E6 run: %v", err))
-		}
-		colors := sim.IntOutputs(res)
-		t.AddRow(n, bits, tBound(delta, bits), res.Rounds, plan.BitsOut,
-			checkColoring(g, delta+1, colors))
+		assignment := ids.Shuffled(n, r)
+		cfg.Row(t, func() {
+			bits := mathx.CeilLog2(n + 1)
+			plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
+			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22},
+				speedup.NewTheorem6Factory(plan, bits, mk(plan.BitsOut)))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E6 run: %v", err))
+			}
+			colors := sim.IntOutputs(res)
+			t.AddRow(n, bits, tBound(delta, bits), res.Rounds, plan.BitsOut,
+				checkColoring(g, delta+1, colors))
+		})
 	}
 	// Plan-level ℓ sweep (no simulation needed): the compression regime.
 	tb2 := speedup.SlowColoringRounds(delta, 1, 2)
@@ -357,25 +387,29 @@ func E7Dichotomy(cfg Config) *Table {
 	sizes := cfg.sizes([]int{16, 64, 256}, []int{16, 64, 256, 1024, 4096})
 	for _, n := range sizes {
 		g := graph.Ring(n)
-		res2, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)}, ringcolor.NewTwoColorFactory())
-		if err != nil {
-			panic(fmt.Sprintf("harness: E7 2-color: %v", err))
-		}
-		inputs, err := ringcolor.RingOrientation(g)
-		if err != nil {
-			panic(err)
-		}
-		bits := mathx.CeilLog2(n + 1)
-		res3, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), Inputs: inputs},
-			ringcolor.NewColeVishkinFactory(bits))
-		if err != nil {
-			panic(fmt.Sprintf("harness: E7 3-color: %v", err))
-		}
-		ok := "yes"
-		if checkColoring(g, 2, sim.IntOutputs(res2)) != "yes" || checkColoring(g, 3, sim.IntOutputs(res3)) != "yes" {
-			ok = "NO"
-		}
-		t.AddRow(n, res2.Rounds, res3.Rounds, ok)
+		twoIDs := ids.Shuffled(n, r)
+		threeIDs := ids.Shuffled(n, r)
+		cfg.Row(t, func() {
+			res2, err := sim.Run(g, sim.Config{IDs: twoIDs}, ringcolor.NewTwoColorFactory())
+			if err != nil {
+				panic(fmt.Sprintf("harness: E7 2-color: %v", err))
+			}
+			inputs, err := ringcolor.RingOrientation(g)
+			if err != nil {
+				panic(err)
+			}
+			bits := mathx.CeilLog2(n + 1)
+			res3, err := sim.Run(g, sim.Config{IDs: threeIDs, Inputs: inputs},
+				ringcolor.NewColeVishkinFactory(bits))
+			if err != nil {
+				panic(fmt.Sprintf("harness: E7 3-color: %v", err))
+			}
+			ok := "yes"
+			if checkColoring(g, 2, sim.IntOutputs(res2)) != "yes" || checkColoring(g, 3, sim.IntOutputs(res3)) != "yes" {
+				ok = "NO"
+			}
+			t.AddRow(n, res2.Rounds, res3.Rounds, ok)
+		})
 	}
 	for _, tc := range []struct{ t, m, k int }{{0, 4, 2}, {1, 5, 2}, {0, 3, 3}, {0, 4, 3}, {1, 5, 3}} {
 		res := nbrgraph.AlgorithmExists(tc.t, tc.m, tc.k, 1<<24)
@@ -405,24 +439,26 @@ func E8Derandomization(cfg Config) *Table {
 	type setting struct{ bits, n, delta, idSpace int }
 	settings := []setting{{1, 2, 1, 2}, {2, 2, 1, 2}, {2, 3, 2, 3}}
 	for _, s := range settings {
-		alg := derand.PriorityMIS(s.bits)
-		instances := derand.EnumerateInstances(s.n, s.delta, s.idSpace)
-		res := derand.SearchPhi(alg, instances, s.idSpace, 1<<22)
-		var unionBound float64
-		for _, inst := range instances {
-			unionBound += derand.ExactFailure(alg, inst)
-		}
-		phiStr := "none"
-		if res.Found != nil {
-			parts := make([]string, 0, s.idSpace)
-			for id := 1; id <= s.idSpace; id++ {
-				parts = append(parts, fmt.Sprint(res.Found[id]))
+		cfg.Row(t, func() {
+			alg := derand.PriorityMIS(s.bits)
+			instances := derand.EnumerateInstances(s.n, s.delta, s.idSpace)
+			res := derand.SearchPhi(alg, instances, s.idSpace, 1<<22)
+			var unionBound float64
+			for _, inst := range instances {
+				unionBound += derand.ExactFailure(alg, inst)
 			}
-			phiStr = "(" + strings.Join(parts, ",") + ")"
-		}
-		space := fmt.Sprintf("%d", res.Tried)
-		t.AddRow(s.bits, s.n, s.delta, len(instances), space,
-			fmt.Sprintf("%d", res.BadCount), unionBound, phiStr)
+			phiStr := "none"
+			if res.Found != nil {
+				parts := make([]string, 0, s.idSpace)
+				for id := 1; id <= s.idSpace; id++ {
+					parts = append(parts, fmt.Sprint(res.Found[id]))
+				}
+				phiStr = "(" + strings.Join(parts, ",") + ")"
+			}
+			space := fmt.Sprintf("%d", res.Tried)
+			t.AddRow(s.bits, s.n, s.delta, len(instances), space,
+				fmt.Sprintf("%d", res.BadCount), unionBound, phiStr)
+		})
 	}
 	t.Note("A_Rand is greedy MIS by random priority; its only failure mode is a blocking " +
 		"adjacent tie. Every reported φ* was re-verified to err on ZERO instances.")
@@ -442,28 +478,36 @@ func E9Linial(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 9)
 	sizes := cfg.sizes([]int{256, 4096}, []int{256, 4096, 65536, 1 << 20})
 	for _, n := range sizes {
-		sched := linial.Schedule(n, delta)
-		parts := []string{fmt.Sprint(n)}
-		for _, f := range sched {
-			parts = append(parts, fmt.Sprint(f.PaletteSize()))
-		}
-		// Measured run at simulable sizes.
-		rounds := len(sched)
-		ok := ""
+		// Prep: the simulable sizes draw the tree and IDs from the shared
+		// stream; the plan-only sizes draw nothing (matching the historical
+		// stream consumption).
+		var g *graph.Graph
+		var assignment ids.Assignment
 		if n <= 65536 {
-			g := graph.RandomTree(n, delta, r)
-			res, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r)},
-				linial.NewFactory(linial.Options{InitialPalette: n, Delta: delta}))
-			if err != nil {
-				panic(fmt.Sprintf("harness: E9 run: %v", err))
-			}
-			rounds = res.Rounds
-			ok = checkColoring(g, linial.FixedPoint(n, delta), sim.IntOutputs(res))
-			if ok != "yes" {
-				panic("harness: E9 produced an improper coloring")
-			}
+			g = graph.RandomTree(n, delta, r)
+			assignment = ids.Shuffled(n, r)
 		}
-		t.AddRow(n, delta, rounds, linial.FixedPoint(n, delta), strings.Join(parts, "→"))
+		cfg.Row(t, func() {
+			sched := linial.Schedule(n, delta)
+			parts := []string{fmt.Sprint(n)}
+			for _, f := range sched {
+				parts = append(parts, fmt.Sprint(f.PaletteSize()))
+			}
+			// Measured run at simulable sizes.
+			rounds := len(sched)
+			if g != nil {
+				res, err := sim.Run(g, sim.Config{IDs: assignment},
+					linial.NewFactory(linial.Options{InitialPalette: n, Delta: delta}))
+				if err != nil {
+					panic(fmt.Sprintf("harness: E9 run: %v", err))
+				}
+				rounds = res.Rounds
+				if checkColoring(g, linial.FixedPoint(n, delta), sim.IntOutputs(res)) != "yes" {
+					panic("harness: E9 produced an improper coloring")
+				}
+			}
+			t.AddRow(n, delta, rounds, linial.FixedPoint(n, delta), strings.Join(parts, "→"))
+		})
 	}
 	t.Note("log*(2^20)=4-ish: the round column grows by at most one per squaring of n")
 	return t
@@ -483,34 +527,38 @@ func E10MISMatching(cfg Config) *Table {
 	sizes := cfg.sizes([]int{256, 1024}, []int{1024, 4096, 16384})
 	for _, n := range sizes {
 		g := graph.RandomBoundedDegree(n, 2*n, 8, r)
-		valid := true
-		luby, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n)},
-			mis.NewLubyFactory(mis.LubyOptions{}))
-		if err != nil {
-			panic(err)
-		}
-		det, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
-			mis.NewDetFactory(mis.DetOptions{}))
-		if err != nil {
-			panic(err)
-		}
-		rmatch, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n) + 1},
-			matching.NewRandFactory(matching.RandOptions{}))
-		if err != nil {
-			panic(err)
-		}
-		dmatch, err := sim.Run(g, sim.Config{IDs: ids.Shuffled(n, r), MaxRounds: 1 << 22},
-			matching.NewDetFactory(matching.DetOptions{}))
-		if err != nil {
-			panic(err)
-		}
-		valid = valid && validMIS(g, luby) && validMIS(g, det)
-		valid = valid && validMatch(g, rmatch) && validMatch(g, dmatch)
-		okStr := "yes"
-		if !valid {
-			okStr = "NO"
-		}
-		t.AddRow(n, g.MaxDegree(), luby.Rounds, det.Rounds, rmatch.Rounds, dmatch.Rounds, okStr)
+		detIDs := ids.Shuffled(n, r)
+		matchIDs := ids.Shuffled(n, r)
+		cfg.Row(t, func() {
+			valid := true
+			luby, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n)},
+				mis.NewLubyFactory(mis.LubyOptions{}))
+			if err != nil {
+				panic(err)
+			}
+			det, err := sim.Run(g, sim.Config{IDs: detIDs, MaxRounds: 1 << 22},
+				mis.NewDetFactory(mis.DetOptions{}))
+			if err != nil {
+				panic(err)
+			}
+			rmatch, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n) + 1},
+				matching.NewRandFactory(matching.RandOptions{}))
+			if err != nil {
+				panic(err)
+			}
+			dmatch, err := sim.Run(g, sim.Config{IDs: matchIDs, MaxRounds: 1 << 22},
+				matching.NewDetFactory(matching.DetOptions{}))
+			if err != nil {
+				panic(err)
+			}
+			valid = valid && validMIS(g, luby) && validMIS(g, det)
+			valid = valid && validMatch(g, rmatch) && validMatch(g, dmatch)
+			okStr := "yes"
+			if !valid {
+				okStr = "NO"
+			}
+			t.AddRow(n, g.MaxDegree(), luby.Rounds, det.Rounds, rmatch.Rounds, dmatch.Rounds, okStr)
+		})
 	}
 	return t
 }
@@ -545,47 +593,49 @@ func E11Sinkless(cfg Config) *Table {
 	for _, half := range halves {
 		d := 3
 		ecg := graph.RandomRegularBipartite(half, d, r)
-		inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: d}
-		inputs := inst.NodeInputs()
-		res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half), Inputs: inputs},
-			sinkless.NewOrientFactory(sinkless.OrientOptions{}))
-		if err != nil {
-			panic(err)
-		}
-		orientOK := "yes"
-		if lcl.ValidateOrientation(inst, sinkless.OrientLabels(res.Outputs)) != nil {
-			orientOK = "NO"
-		}
-		worst := 0
-		for _, s := range sinkless.LastSinkSteps(res.Outputs) {
-			if s > worst {
-				worst = s
+		cfg.Row(t, func() {
+			inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: d}
+			inputs := inst.NodeInputs()
+			res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half), Inputs: inputs},
+				sinkless.NewOrientFactory(sinkless.OrientOptions{}))
+			if err != nil {
+				panic(err)
 			}
-		}
-		cRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 3, Inputs: inputs},
-			sinkless.NewColoringFromOrientationFactory(sinkless.NewOrientFactory(sinkless.OrientOptions{})))
-		if err != nil {
-			panic(err)
-		}
-		colorOK := "yes"
-		if lcl.SinklessColoring(d).Validate(inst, lcl.IntLabels(sim.IntOutputs(cRes))) != nil {
-			colorOK = "NO"
-		}
-		oRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 5, Inputs: inputs},
-			sinkless.NewOrientFromColoringFactory(sinkless.NewColoringFromOrientationFactory(
-				sinkless.NewOrientFactory(sinkless.OrientOptions{}))))
-		if err != nil {
-			panic(err)
-		}
-		ofcOK := "yes"
-		labels := make([]lcl.OrientationLabel, len(oRes.Outputs))
-		for v, o := range oRes.Outputs {
-			labels[v] = o.(lcl.OrientationLabel)
-		}
-		if lcl.ValidateOrientation(inst, labels) != nil {
-			ofcOK = "NO"
-		}
-		t.AddRow(ecg.N(), d, orientOK, worst, colorOK, ofcOK)
+			orientOK := "yes"
+			if lcl.ValidateOrientation(inst, sinkless.OrientLabels(res.Outputs)) != nil {
+				orientOK = "NO"
+			}
+			worst := 0
+			for _, s := range sinkless.LastSinkSteps(res.Outputs) {
+				if s > worst {
+					worst = s
+				}
+			}
+			cRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 3, Inputs: inputs},
+				sinkless.NewColoringFromOrientationFactory(sinkless.NewOrientFactory(sinkless.OrientOptions{})))
+			if err != nil {
+				panic(err)
+			}
+			colorOK := "yes"
+			if lcl.SinklessColoring(d).Validate(inst, lcl.IntLabels(sim.IntOutputs(cRes))) != nil {
+				colorOK = "NO"
+			}
+			oRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 5, Inputs: inputs},
+				sinkless.NewOrientFromColoringFactory(sinkless.NewColoringFromOrientationFactory(
+					sinkless.NewOrientFactory(sinkless.OrientOptions{}))))
+			if err != nil {
+				panic(err)
+			}
+			ofcOK := "yes"
+			labels := make([]lcl.OrientationLabel, len(oRes.Outputs))
+			for v, o := range oRes.Outputs {
+				labels[v] = o.(lcl.OrientationLabel)
+			}
+			if lcl.ValidateOrientation(inst, labels) != nil {
+				ofcOK = "NO"
+			}
+			t.AddRow(ecg.N(), d, orientOK, worst, colorOK, ofcOK)
+		})
 	}
 	t.Note("'last sink step' is when the final sink token died — far inside the O(log n) budget, " +
 		"the RandLOCAL upper-bound side that Theorem 4 shows cannot drop below Ω(log_Δ log n)")

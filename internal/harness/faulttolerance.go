@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,7 +50,11 @@ func ftRun(c ftCase, plan fault.Plan, runSeed uint64) ftAttempt {
 	return ftAttempt{report: c.problem.Violations(c.inst, c.labels(res.Outputs))}
 }
 
-// ftErrString renders a run error as a short table cell.
+// ftErrString renders a run error as a short table cell. Classification is
+// exclusively errors.Is/errors.As against the structured sentinels — the
+// kernel always wraps them with run context, so text matching would be both
+// fragile and a localvet errsentinel finding (the testdata fixture
+// ftclassify.go demonstrates the flagged regression).
 func ftErrString(err error) string {
 	if err == nil {
 		return "none"
@@ -65,10 +70,17 @@ func ftErrString(err error) string {
 		}
 		return fmt.Sprintf("%s at node %d, round %d", kind, ne.Node, ne.Round)
 	}
-	if errors.Is(err, sim.ErrMaxRounds) {
+	switch {
+	case errors.Is(err, sim.ErrMaxRounds):
 		return "max rounds"
+	case errors.Is(err, sim.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrSweepInterrupted), errors.Is(err, context.Canceled):
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "ctx deadline"
 	}
-	return err.Error()
+	return fmt.Sprintf("unclassified: %v", err)
 }
 
 // E12FaultTolerance measures graceful degradation: the paper's Monte-Carlo
@@ -143,38 +155,46 @@ func E12FaultTolerance(cfg Config) *Table {
 	for ci, c := range cases {
 		for pi, plan := range plans {
 			plan.FromRound = c.fromRound
-			var first ftAttempt
-			rr := Retry(budget, func(attempt int) error {
-				coord := uint64(ci)<<16 | uint64(pi)<<8 | uint64(attempt)
-				p := plan
-				p.Seed = rng.Mix64(cfg.Seed, coord)
-				a := ftRun(c, p, rng.Mix64(cfg.Seed+1, coord))
-				if attempt == 0 {
-					first = a
+			cfg.Row(t, func() {
+				// The retry path is RetryContext: cancellation between
+				// attempts is honored (a drained jobs worker abandons the
+				// budget cleanly) and the backoff jitter stream is seeded
+				// per (experiment, case, plan) — deterministic like every
+				// other draw. Base 0 keeps in-process retries waitless.
+				backoff := Backoff{Seed: rng.Mix64(cfg.Seed+2, uint64(ci)<<8|uint64(pi))}
+				var first ftAttempt
+				rr := RetryContext(cfg.ctx(), budget, backoff, func(attempt int) error {
+					coord := uint64(ci)<<16 | uint64(pi)<<8 | uint64(attempt)
+					p := plan
+					p.Seed = rng.Mix64(cfg.Seed, coord)
+					a := ftRun(c, p, rng.Mix64(cfg.Seed+1, coord))
+					if attempt == 0 {
+						first = a
+					}
+					switch {
+					case a.runErr != nil:
+						return a.runErr
+					case a.report.Structural != nil:
+						return a.report.Structural
+					case a.report.Violated > 0:
+						return a.report.WorstErr
+					}
+					return nil
+				})
+				frac, worst := "n/a", "-"
+				if first.runErr == nil {
+					frac = fmt.Sprintf("%.4g", first.report.SatisfiedFraction())
+					if first.report.Worst >= 0 {
+						worst = fmt.Sprint(first.report.Worst)
+					}
 				}
-				switch {
-				case a.runErr != nil:
-					return a.runErr
-				case a.report.Structural != nil:
-					return a.report.Structural
-				case a.report.Violated > 0:
-					return a.report.WorstErr
+				recovered := "no"
+				if rr.Success {
+					recovered = fmt.Sprintf("attempt %d", rr.Attempts)
 				}
-				return nil
+				t.AddRow(c.name, plan.String(), ftErrString(first.runErr), frac, worst,
+					rr.Attempts, recovered)
 			})
-			frac, worst := "n/a", "-"
-			if first.runErr == nil {
-				frac = fmt.Sprintf("%.4g", first.report.SatisfiedFraction())
-				if first.report.Worst >= 0 {
-					worst = fmt.Sprint(first.report.Worst)
-				}
-			}
-			recovered := "no"
-			if rr.Success {
-				recovered = fmt.Sprintf("attempt %d", rr.Attempts)
-			}
-			t.AddRow(c.name, plan.String(), ftErrString(first.runErr), frac, worst,
-				rr.Attempts, recovered)
 		}
 	}
 	t.Note("fault injection is off-model instrumentation (package fault): the paper's LOCAL " +

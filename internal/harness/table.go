@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -19,6 +20,11 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// sweep is the row-level checkpoint bookkeeping attached by the first
+	// Config.Row call (see checkpoint.go); nil for tables built without
+	// checkpointing.
+	sweep *sweepState
 }
 
 // AddRow appends a row of stringified cells.
@@ -111,7 +117,9 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Config controls experiment scale.
+// Config controls experiment scale and, for supervised runs, the sweep's
+// cancellation and checkpointing hooks (all optional; the zero hooks give
+// the historical one-shot behavior).
 type Config struct {
 	// Quick shrinks instance sizes and repetition counts so the whole
 	// suite runs in seconds (used by tests and -quick benchmarking);
@@ -119,6 +127,18 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Ctx, when non-nil, cancels a sweep between row batches: Config.Row
+	// aborts with a panicked *SweepError as soon as the context dies.
+	Ctx context.Context
+	// Resume seeds Config.Row replay from a previously recorded
+	// checkpoint. Incompatible checkpoints (different experiment, seed or
+	// scale) are ignored and the sweep starts fresh.
+	Resume *Checkpoint
+	// OnBatch is invoked after each freshly computed row batch with the
+	// checkpoint accumulated so far, for persistence. The pointee is owned
+	// by the sweep and mutated as it progresses: persist synchronously or
+	// Clone. Replayed batches do not re-fire it.
+	OnBatch func(*Checkpoint)
 }
 
 // sizes picks an n-sweep.

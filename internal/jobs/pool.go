@@ -1,0 +1,377 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"locality/internal/harness"
+	"locality/internal/rng"
+)
+
+// Options configures a Pool. The zero value is usable: 2 workers, a queue
+// of 16, no persistence, no retry.
+type Options struct {
+	// Workers is the number of concurrent job runners (default 2).
+	Workers int
+	// QueueDepth bounds the submission queue (default 16). A submission
+	// arriving at a full queue is shed, never buffered elsewhere.
+	QueueDepth int
+	// CheckpointDir, when non-empty, persists each job's row-batch
+	// checkpoint as JSON under this directory (atomic write: temp file
+	// then rename), keyed by the job's determinism identity. A job
+	// resubmitted after a crash resumes from the persisted batches; the
+	// file is removed when the job succeeds.
+	CheckpointDir string
+	// RetryBudget is the number of attempts per job (default 1, i.e. no
+	// retry). Retries apply only to transient failures — panics that are
+	// not cancellations or deadlines — and each retried attempt resumes
+	// from the job's checkpoint rather than starting over.
+	RetryBudget int
+	// Backoff paces the retries. Its Seed is mixed with each job's Spec
+	// seed so every job walks its own deterministic jitter schedule.
+	Backoff harness.Backoff
+	// BatchHook, when non-nil, is invoked synchronously after each freshly
+	// computed (and persisted) row batch with the job ID and a private
+	// checkpoint clone. It exists for tests — fault injection, progress
+	// assertions — and runs inside the job attempt, so a panic here is
+	// recovered like any experiment panic.
+	BatchHook func(id string, ck *harness.Checkpoint)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 16
+}
+
+func (o Options) retryBudget() int {
+	if o.RetryBudget > 0 {
+		return o.RetryBudget
+	}
+	return 1
+}
+
+// job is the pool-private mutable record behind a Job snapshot. All fields
+// after the immutables are guarded by the pool mutex.
+type job struct {
+	id   string
+	spec Spec
+	num  int // submission order, for List
+
+	ctx    context.Context    // cancelled by Cancel, Close, or pool teardown
+	cancel context.CancelFunc
+
+	state       State
+	attempts    int
+	batchesDone int
+	err         error
+	output      string
+}
+
+// Pool is a supervised worker pool running experiment sweeps. Create with
+// New, submit with Submit, shut down with Close.
+type Pool struct {
+	opts  Options
+	store checkpointStore
+	queue chan *job
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextNum  int
+	draining bool
+}
+
+// New starts a pool: opts.Workers goroutines consuming a bounded queue.
+func New(opts Options) *Pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		opts:      opts,
+		store:     checkpointStore{dir: opts.CheckpointDir},
+		queue:     make(chan *job, opts.queueDepth()),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*job),
+	}
+	for i := 0; i < opts.workers(); i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				p.runJob(j)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a job and returns its ID. It never blocks: when the pool
+// is draining, the queue is full, or the spec names no registered
+// experiment, the submission is shed with a *ShedError explaining why.
+func (p *Pool) Submit(spec Spec) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	shed := func(reason error) (string, error) {
+		return "", &ShedError{Reason: reason, QueueLen: len(p.queue), QueueCap: cap(p.queue)}
+	}
+	if _, ok := lookup(spec.Experiment); !ok {
+		return shed(fmt.Errorf("%w %q", ErrUnknownExperiment, spec.Experiment))
+	}
+	if p.draining {
+		return shed(ErrDraining)
+	}
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	j := &job{
+		id:     fmt.Sprintf("job-%d", p.nextNum),
+		num:    p.nextNum,
+		spec:   spec,
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateQueued,
+	}
+	select {
+	case p.queue <- j:
+		p.nextNum++
+		p.jobs[j.id] = j
+		return j.id, nil
+	default:
+		cancel()
+		return shed(ErrQueueFull)
+	}
+}
+
+// Get returns a snapshot of the job, if the pool knows the ID.
+func (p *Pool) Get(id string) (Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return p.snapshot(j), true
+}
+
+// List returns snapshots of every job, in submission order.
+func (p *Pool) List() []Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	all := make([]*job, 0, len(p.jobs))
+	for _, j := range p.jobs {
+		all = append(all, j)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].num < all[b].num })
+	out := make([]Job, len(all))
+	for i, j := range all {
+		out[i] = p.snapshot(j)
+	}
+	return out
+}
+
+// snapshot renders a job under the pool mutex.
+func (p *Pool) snapshot(j *job) Job {
+	s := Job{
+		ID:          j.id,
+		Spec:        j.spec,
+		State:       j.state,
+		Attempts:    j.attempts,
+		BatchesDone: j.batchesDone,
+		Output:      j.output,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+		s.ErrorKind = classify(j.err)
+	}
+	return s
+}
+
+// Cancel requests cancellation of a job. A queued job is cancelled before
+// it starts; a running job's sweep aborts at the next row-batch boundary.
+// Cancelling a terminal job is a no-op.
+func (p *Pool) Cancel(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	j.cancel()
+	return nil
+}
+
+// Draining reports whether shutdown has begun (readiness probes flip on
+// this).
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Close shuts the pool down gracefully: no new submissions are accepted,
+// queued and in-flight jobs keep running until ctx expires, and any job
+// still running at that point is cancelled — its progress already
+// checkpointed batch by batch. Close returns once every worker goroutine
+// has exited: nil if all jobs drained, otherwise the drain deadline's
+// cause. Close is idempotent; later calls just wait for the drain.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if !already {
+		close(p.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("jobs: drain deadline: %w", context.Cause(ctx))
+		p.cancelAll()
+		<-done
+	}
+	p.cancelAll()
+	return err
+}
+
+// runJob drives one job to a terminal state. It never panics: experiment
+// panics are recovered inside the attempt and become structured errors.
+func (p *Pool) runJob(j *job) {
+	defer j.cancel()
+	p.mu.Lock()
+	if j.ctx.Err() != nil { // cancelled while queued
+		p.finishLocked(j, fmt.Errorf("jobs: cancelled before start: %w", context.Cause(j.ctx)))
+		p.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	p.mu.Unlock()
+
+	ctx := j.ctx
+	if j.spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.spec.Timeout)
+		defer cancel()
+	}
+
+	ck := p.store.load(j.spec)
+	if ck != nil {
+		p.mu.Lock()
+		j.batchesDone = len(ck.Batches)
+		p.mu.Unlock()
+	}
+
+	backoff := p.opts.Backoff
+	backoff.Seed = rng.Mix64(backoff.Seed, j.spec.Seed)
+
+	// RetryContext owns the budget and the waits; the callback reports
+	// transient errors for retry and swallows permanent ones (recording
+	// them in `permanent`) to stop the budget early — a cancelled or
+	// deadlined job must not burn attempts it was told not to make.
+	var table string
+	var permanent error
+	rr := harness.RetryContext(ctx, p.opts.retryBudget(), backoff, func(attempt int) error {
+		p.mu.Lock()
+		j.attempts = attempt + 1
+		p.mu.Unlock()
+		tbl, err := p.attempt(ctx, j, &ck)
+		switch {
+		case err == nil:
+			var buf bytes.Buffer
+			tbl.Render(&buf)
+			table = buf.String()
+			return nil
+		case cancelled(err) || classify(err) == "deadline":
+			permanent = err
+			return nil
+		default:
+			return err
+		}
+	})
+
+	var final error
+	switch {
+	case permanent != nil:
+		final = permanent
+	case rr.Success:
+		final = nil
+	default:
+		final = rr.LastErr
+	}
+
+	p.mu.Lock()
+	if final == nil {
+		j.state = StateSucceeded
+		j.output = table
+		p.mu.Unlock()
+		p.store.clear(j.spec)
+		return
+	}
+	p.finishLocked(j, final)
+	p.mu.Unlock()
+}
+
+// finishLocked records a terminal failure; callers hold the pool mutex.
+func (p *Pool) finishLocked(j *job, err error) {
+	j.err = err
+	if cancelled(err) {
+		j.state = StateCancelled
+	} else {
+		j.state = StateFailed
+	}
+}
+
+// attempt runs the experiment driver once, under panic isolation: a
+// panicking driver (or batch hook) is recovered into a *JobError carrying
+// the value and stack, and the worker lives on. Completed row batches are
+// checkpointed as they land, so whatever ends this attempt, the next one —
+// or a resubmission — resumes where it stopped.
+func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tbl *harness.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			je := &JobError{ID: j.id, Experiment: j.spec.Experiment, Value: r, Stack: debug.Stack()}
+			if cause, ok := r.(error); ok {
+				je.Cause = cause
+			}
+			err = je
+		}
+	}()
+	driver, _ := lookup(j.spec.Experiment)
+	cfg := harness.Config{
+		Quick:  j.spec.Quick,
+		Seed:   j.spec.Seed,
+		Ctx:    ctx,
+		Resume: *ck,
+		OnBatch: func(c *harness.Checkpoint) {
+			snap := c.Clone()
+			*ck = snap
+			p.mu.Lock()
+			j.batchesDone = len(snap.Batches)
+			p.mu.Unlock()
+			p.store.save(j.spec, snap)
+			if p.opts.BatchHook != nil {
+				p.opts.BatchHook(j.id, snap)
+			}
+		},
+	}
+	return driver(cfg), nil
+}

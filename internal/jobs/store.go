@@ -1,0 +1,80 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"locality/internal/harness"
+)
+
+// checkpointStore persists job checkpoints as JSON files keyed by the job's
+// determinism identity (experiment, seed, quick) — not by job ID, so a job
+// resubmitted after a process kill finds the progress of its predecessor.
+// An empty dir disables persistence; every method is then a no-op. All
+// failures are swallowed: checkpointing is an optimization, and a job must
+// never fail because its checkpoint could not be written or read.
+type checkpointStore struct {
+	dir string
+}
+
+// path is the checkpoint file for a spec.
+func (s checkpointStore) path(spec Spec) string {
+	scale := "full"
+	if spec.Quick {
+		scale = "quick"
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x-%s.ckpt.json", spec.Experiment, spec.Seed, scale))
+}
+
+// load returns the persisted checkpoint for the spec, or nil.
+func (s checkpointStore) load(spec Spec) *harness.Checkpoint {
+	if s.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(s.path(spec))
+	if err != nil {
+		return nil
+	}
+	ck, err := harness.DecodeCheckpoint(data)
+	if err != nil {
+		return nil // corrupt file: start fresh, the sweep recomputes
+	}
+	return ck
+}
+
+// save writes the checkpoint atomically: temp file in the same directory,
+// then rename, so a kill mid-write leaves the previous checkpoint intact.
+func (s checkpointStore) save(spec Spec, ck *harness.Checkpoint) {
+	if s.dir == "" {
+		return
+	}
+	data, err := ck.Encode()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(spec)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// clear removes the spec's checkpoint (called when its job succeeds).
+func (s checkpointStore) clear(spec Spec) {
+	if s.dir == "" {
+		return
+	}
+	os.Remove(s.path(spec))
+}

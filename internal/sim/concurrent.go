@@ -225,6 +225,12 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 			stopAll()
 			return nil, fault
 		}
+		// Progress hook: every node's status for this step is in, and no
+		// node faulted (mirrors the sequential engine, which aborts its
+		// sweep mid-step on a fault and so never notifies for that step).
+		if cfg.OnRound != nil {
+			cfg.OnRound(step)
+		}
 	}
 	stopAll()
 

@@ -80,6 +80,12 @@ func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 		for v := 0; v < n; v++ {
 			clearMessages(inboxNext[v])
 		}
+		// Progress hook: the step completed for every node (faulted steps
+		// return above, matching the concurrent engine's fault-free-only
+		// notification).
+		if cfg.OnRound != nil {
+			cfg.OnRound(step)
+		}
 	}
 
 	res.Outputs = make([]any, n)

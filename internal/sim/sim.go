@@ -120,6 +120,15 @@ type Config struct {
 	// stuck inside Step, a round that never completes) where the logical
 	// MaxRounds budget cannot trigger. Expiry returns ErrDeadline.
 	Deadline time.Duration
+	// OnRound, when non-nil, is invoked once per completed step with the
+	// step number (1, 2, ...) after every node has executed it and its
+	// messages are in flight. It is a progress hook for supervision layers
+	// (live job status, checkpoint granularity, cancellation tests); both
+	// engines call it from the coordinating goroutine, in step order, and
+	// it observes — never influences — the run: the callback must not
+	// mutate machines or messages, and a run's Result is identical with or
+	// without it.
+	OnRound func(round int)
 }
 
 // Result reports a completed run.

@@ -47,8 +47,13 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLCLCheck -fuzztime=5s ./internal/lcl
 	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/fault
 
+# Perf trajectory: run the Go benchmarks with allocation reporting, then
+# time every experiment at quick scale and write BENCH_<stamp>.json next to
+# the checked-in baseline. When a baseline exists, the run fails on a >25%
+# ns/op regression (tune with -bench-regress; see cmd/localbench/bench.go).
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+	$(GO) run ./cmd/localbench -bench-json
 
 # Regenerate the full-scale EXPERIMENTS.md tables (takes minutes).
 experiments:

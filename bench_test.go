@@ -137,9 +137,11 @@ func benchKernel(b *testing.B, engine locality.Engine) {
 	factory := locality.NewLinialFactory(locality.LinialOptions{
 		InitialPalette: 2048, Delta: 4,
 	})
+	arena := &locality.Arena{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := locality.Run(g, locality.RunConfig{IDs: assignment, Engine: engine}, factory)
+		res, err := locality.Run(g, locality.RunConfig{IDs: assignment, Engine: engine, Arena: arena}, factory)
 		if err != nil {
 			b.Fatal(err)
 		}

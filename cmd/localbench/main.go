@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	localbench [-experiment=E1|...|E13|all] [-quick] [-seed N] [-format text|csv|markdown]
+//	localbench [-experiment=E1|...|E13|all] [-quick] [-seed N] [-workers N] [-format text|csv|markdown]
+//	localbench -bench-json [-bench-dir DIR] [-bench-regress PCT] [-seed N] [-workers N]
 //
 // Full mode (the default) matches the EXPERIMENTS.md record and takes a few
-// minutes; -quick shrinks every sweep to run in seconds.
+// minutes; -quick shrinks every sweep to run in seconds. -workers computes
+// sweep rows in parallel without changing a byte of output. -bench-json
+// times every experiment at quick scale, writes BENCH_<stamp>.json, and —
+// when an earlier artifact exists in -bench-dir — exits nonzero on a
+// >-bench-regress% ns/op regression (see bench.go).
 package main
 
 import (
@@ -28,11 +33,20 @@ func run() int {
 		experiment = flag.String("experiment", "all", "experiment id (E1..E13, A1..A3) or 'all'")
 		quick      = flag.Bool("quick", false, "shrink sweeps to run in seconds")
 		seed       = flag.Uint64("seed", 2016, "random seed for all experiments")
+		workers    = flag.Int("workers", 1, "parallel row workers per sweep (output is identical at any count)")
 		format     = flag.String("format", "text", "output format: text, csv or markdown")
+
+		benchJSON    = flag.Bool("bench-json", false, "benchmark every experiment at quick scale and write BENCH_<stamp>.json")
+		benchDir     = flag.String("bench-dir", ".", "directory for BENCH_*.json artifacts (and where the baseline is looked up)")
+		benchRegress = flag.Float64("bench-regress", 25, "fail on ns/op regressions above this percentage vs the latest baseline (0 disables)")
 	)
 	flag.Parse()
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	if *benchJSON {
+		return runBenchJSON(*benchDir, *seed, *workers, *benchRegress)
+	}
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	var tables []*harness.Table
 	switch {
 	case strings.EqualFold(*experiment, "all"):

@@ -38,6 +38,9 @@ type submitRequest struct {
 	Seed       uint64 `json:"seed"`
 	// TimeoutMS bounds the job's running time in milliseconds (0 = none).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers computes the sweep's rows in parallel (same bytes, less wall
+	// clock; see jobs.Spec.Workers).
+	Workers int `json:"workers,omitempty"`
 }
 
 // errorResponse is every non-2xx JSON body.
@@ -133,6 +136,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Quick:      req.Quick,
 		Seed:       req.Seed,
 		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		Workers:    req.Workers,
 	})
 	if err != nil {
 		writeJSON(w, shedStatus(err), shedResponse(err))

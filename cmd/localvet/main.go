@@ -44,6 +44,9 @@ func main() {
 //     layer's job deadlines, drain grace periods and request timeouts are
 //     wall-clock by nature. Experiment results stay deterministic — the
 //     clock only bounds *whether* a sweep finishes, never what it computes.
+//   - cmd/localbench may read the clock: its -bench-json mode measures
+//     wall-clock ns/op by definition. The measured experiments themselves
+//     remain clock-free.
 //   - internal/harness/retry.go (and only that file of the harness) may
 //     read the clock: waitAttempt is the backoff wait between retry
 //     attempts. The backoff *schedule* is pure seeded arithmetic; the wait
@@ -59,6 +62,7 @@ func contractAnalyzers() []*analysis.Analyzer {
 				"locality/internal/sim",
 				"locality/internal/jobs",
 				"locality/cmd/localityd",
+				"locality/cmd/localbench",
 			},
 			AllowFiles: []string{"internal/harness/retry.go"},
 		}),

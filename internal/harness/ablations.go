@@ -71,7 +71,7 @@ func E13Indistinguishability(cfg Config) *Table {
 			t.Note("girth %d: %v (skipped)", minGirth, err)
 			continue
 		}
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			tRounds := (minGirth - 2) / 2 // 2t+1 < g
 			res, err := sim.Run(ecg.Graph, sim.Config{IDs: ids.Sequential(ecg.N())},
 				view.NewCollectMachineFactory(tRounds, nil))
@@ -100,6 +100,7 @@ func E13Indistinguishability(cfg Config) *Table {
 			t.AddRow(ecg.N(), d, minGirth, tRounds, ecg.N(), allTrees)
 		})
 	}
+	cfg.Flush(t)
 	t.Note("this is the 'hard graphs have girth Ω(log_Δ n), so the lower bounds also apply " +
 		"to trees' step of Theorems 4 and 5, checked instance by instance")
 	return t
@@ -123,7 +124,7 @@ func A1KWvsSweep(cfg Config) *Table {
 	for _, delta := range []int{4, 8, 16, 32} {
 		g := graph.RandomTree(n, delta, r)
 		assignment := ids.Shuffled(n, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			dd := g.MaxDegree()
 			fp := linial.FixedPoint(n, dd)
 			valid := true
@@ -146,6 +147,7 @@ func A1KWvsSweep(cfg Config) *Table {
 			t.AddRow(dd, fp, rounds[0], rounds[1], okStr)
 		})
 	}
+	cfg.Flush(t)
 	return t
 }
 
@@ -168,7 +170,7 @@ func A2PeelThreshold(cfg Config) *Table {
 	g := graph.RandomTree(n, 12, r)
 	assignment := ids.Shuffled(n, r)
 	for _, a := range []int{2, 4, 8, 11} {
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			opt := forest.Options{Q: 12, A: a}
 			plan := forest.NewPlan(opt.Resolve(n))
 			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, forest.NewFactory(opt))
@@ -179,6 +181,7 @@ func A2PeelThreshold(cfg Config) *Table {
 				checkColoring(g, 12, sim.IntOutputs(res)))
 		})
 	}
+	cfg.Flush(t)
 	return t
 }
 
@@ -201,7 +204,7 @@ func A3SizeBound(cfg Config) *Table {
 	g := graph.RandomTree(n, 4, r)
 	logn := mathx.CeilLog2(n + 1)
 	for _, bound := range []int{3, 2 * logn, 8 * logn, 32 * logn} {
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bound), MaxRounds: 1 << 22},
 				core.NewT11Factory(core.T11Options{Delta: 4, SizeBound: bound}))
 			if err != nil {
@@ -217,6 +220,7 @@ func A3SizeBound(cfg Config) *Table {
 			t.AddRow(bound, n, res.Rounds, failed, checkColoring(g, 4, colors))
 		})
 	}
+	cfg.Flush(t)
 	t.Note("even the tiny bound rarely fails in practice: the shattered components are " +
 		"path-like (S lives inside a degree-<=3 leftover forest) and peel within any budget; " +
 		"the informative column is the rounds growth — logarithmic in the bound, which is why " +

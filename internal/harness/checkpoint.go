@@ -27,6 +27,11 @@ import (
 // derived from Config.Seed. Notes are always recomputed — drivers that
 // summarize across rows parse the (replayed or fresh) row cells, never
 // loop-carried state.
+//
+// The same discipline is what lets Config.Workers compute rows in parallel
+// (parallel.go): compute closures are pure functions of their prep state,
+// so they can run speculatively out of order as long as their batches are
+// committed in row-index order.
 
 // Checkpoint is the resume state of one experiment sweep: the AddRow
 // batches completed so far, tagged with the identity of the run they came
@@ -35,7 +40,9 @@ type Checkpoint struct {
 	// Experiment is the table ID of the sweep ("E1" ... "A3").
 	Experiment string `json:"experiment"`
 	// Seed and Quick identify the run; a checkpoint only resumes a run
-	// with the same identity (determinism is per (Experiment, Seed, Quick)).
+	// with the same identity (determinism is per (Experiment, Seed, Quick);
+	// Config.Workers is deliberately excluded — tables are byte-identical
+	// at any worker count, so a checkpoint resumes across worker counts).
 	Seed  uint64 `json:"seed"`
 	Quick bool   `json:"quick"`
 	// Batches holds, per completed cfg.Row call, the table rows that call
@@ -103,8 +110,10 @@ var ErrSweepInterrupted = errors.New("harness: sweep interrupted between rows")
 type SweepError struct {
 	// Experiment is the interrupted table's ID.
 	Experiment string
-	// BatchesDone counts the cfg.Row calls completed (replayed or fresh)
-	// before the interruption.
+	// BatchesDone counts the row batches committed (replayed or fresh)
+	// before the interruption. In a parallel sweep, speculatively computed
+	// but uncommitted batches are not counted — they are discarded and
+	// recomputed on resume.
 	BatchesDone int
 	// Cause is the context cause that killed the sweep.
 	Cause error
@@ -124,7 +133,12 @@ type sweepState struct {
 	ctx     context.Context
 	onBatch func(*Checkpoint)
 	ck      *Checkpoint
-	next    int // index of the next batch to replay or record
+	next      int // index of the next batch to replay, record, or enqueue
+	committed int // batches committed to the table (== next when inline)
+
+	// sched is the speculative row scheduler, non-nil only for Workers > 1
+	// sweeps (see parallel.go).
+	sched *rowScheduler
 }
 
 // sweepInit attaches checkpoint state to the table on the first Row call.
@@ -142,37 +156,99 @@ func (t *Table) sweepInit(c Config) *sweepState {
 			s.ck.Batches = append(s.ck.Batches, cloneBatch(batch))
 		}
 	}
+	if c.Workers > 1 {
+		s.sched = &rowScheduler{workers: c.Workers, ctx: c.Ctx}
+	}
 	t.sweep = s
 	return s
 }
 
 // Row runs one checkpointable unit of a sweep. If the resumed checkpoint
 // already holds this batch, the recorded rows are appended to the table and
-// compute is skipped; otherwise compute runs (appending rows via t.AddRow
-// as usual), the fresh batch is recorded, and Config.OnBatch — if set — is
-// handed the checkpoint so far for persistence. Between batches, Row aborts
-// the sweep with a panicked *SweepError when Config.Ctx is dead.
+// compute is skipped; otherwise compute runs, appending its rows via AddRow
+// to the *Table it receives, the fresh batch is recorded, and Config.OnBatch
+// — if set — is handed the checkpoint so far for persistence. Between
+// batches, Row aborts the sweep with a panicked *SweepError when Config.Ctx
+// is dead.
+//
+// The compute callback's table parameter deliberately shadows the sweep
+// table: with Workers <= 1 it IS the sweep table, but in a parallel sweep it
+// is a private staging table whose rows are committed in row-index order
+// once every earlier batch has committed (see parallel.go). Compute must
+// therefore only AddRow on its parameter — notes and cross-row reads belong
+// outside Row.
 //
 // Replay discipline (see the file comment): draws from RNG streams shared
 // across rows belong before Row, not inside compute.
-func (c Config) Row(t *Table, compute func()) {
+func (c Config) Row(t *Table, compute func(t *Table)) {
 	s := t.sweepInit(c)
+	s.drainReady(t)
 	if s.ctx != nil && s.ctx.Err() != nil {
-		panic(&SweepError{Experiment: t.ID, BatchesDone: s.next, Cause: context.Cause(s.ctx)})
+		s.abort(s.interrupted(t))
 	}
 	if s.next < len(s.ck.Batches) {
+		// Replay. Resume batches are a strict prefix of the sweep, so every
+		// replay lands before the first speculative batch commits and the
+		// table's row order is preserved.
 		for _, row := range s.ck.Batches[s.next] {
 			t.Rows = append(t.Rows, append([]string(nil), row...))
 		}
 		s.next++
+		s.committed++
 		return
 	}
-	start := len(t.Rows)
-	compute()
-	s.ck.Batches = append(s.ck.Batches, cloneBatch(t.Rows[start:]))
+	if s.sched == nil {
+		start := len(t.Rows)
+		compute(t)
+		s.next++
+		s.commitBatch(t, nil, cloneBatch(t.Rows[start:]))
+		return
+	}
 	s.next++
+	s.enqueue(t, compute)
+}
+
+// Flush commits every outstanding speculative batch of a parallel sweep, in
+// order, and releases the worker goroutines. Drivers call it after the last
+// Row and before reading t.Rows (cross-row notes) or returning the table;
+// with Workers <= 1 (or no Row calls at all) it is a no-op. Like Row, it
+// aborts with a panicked *SweepError when Config.Ctx dies while batches are
+// still uncommitted.
+func (c Config) Flush(t *Table) {
+	s := t.sweep
+	if s == nil || s.sched == nil {
+		return
+	}
+	s.flush(t)
+}
+
+// commitBatch appends a freshly computed batch to the table (rows != nil for
+// a speculative batch; nil when the inline path already appended them),
+// records it in the checkpoint, and fires OnBatch.
+func (s *sweepState) commitBatch(t *Table, rows [][]string, recorded [][]string) {
+	if rows != nil {
+		t.Rows = append(t.Rows, rows...)
+	}
+	s.ck.Batches = append(s.ck.Batches, recorded)
+	s.committed++
 	if s.onBatch != nil {
 		s.onBatch(s.ck)
+	}
+}
+
+// interrupted builds the cancellation panic value for the current commit
+// position.
+func (s *sweepState) interrupted(t *Table) *SweepError {
+	return &SweepError{Experiment: t.ID, BatchesDone: s.committed, Cause: context.Cause(s.ctx)}
+}
+
+// assertCommitted guards renderers against reading a parallel sweep that was
+// never flushed: silently rendering a partial table would defeat the
+// byte-identity guarantee, so the bug is loud instead.
+func (t *Table) assertCommitted(op string) {
+	if t.sweep != nil && t.sweep.sched != nil && len(t.sweep.sched.pending) > 0 {
+		panic(fmt.Sprintf("harness: %s.%s with %d uncommitted parallel batches (driver missing Config.Flush)",
+			t.ID, op, len(t.sweep.sched.pending)))
 	}
 }
 

@@ -94,7 +94,7 @@ func E1Separation(cfg Config) *Table {
 		// consumes r identically (see checkpoint.go).
 		g := graph.RandomTree(n, delta, r)
 		assignment := ids.Shuffled(n, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			randRes, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n), MaxRounds: 1 << 22},
 				core.NewT11Factory(core.T11Options{Delta: delta}))
 			if err != nil {
@@ -111,6 +111,7 @@ func E1Separation(cfg Config) *Table {
 				detRes.Rounds, checkColoring(g, delta, detColors))
 		})
 	}
+	cfg.Flush(t)
 	// The growth note is parsed back out of the row cells, so replayed rows
 	// contribute exactly as freshly computed ones.
 	last := len(t.Rows) - 1
@@ -144,7 +145,7 @@ func E2DeltaScaling(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 2)
 	for _, delta := range []int{16, 36, 64, 100} {
 		g := graph.RandomTree(n, delta, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			opt := core.T10Options{Delta: delta}
 			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(delta), MaxRounds: 1 << 22},
 				core.NewT10Factory(opt))
@@ -163,6 +164,7 @@ func E2DeltaScaling(cfg Config) *Table {
 				fplan.Rounds(), len(core.CSequence(delta)))
 		})
 	}
+	cfg.Flush(t)
 	t.Note("the Phase-2 (shattered components) plan uses palette √Δ, so its peeling base grows " +
 		"with Δ and its round count shrinks — the log_Δ log n scaling of the claim")
 	return t
@@ -190,7 +192,7 @@ func E3Shattering(cfg Config) *Table {
 		// non-trivial shattered set that still obeys the bound.
 		g := completeTreeOfSize(35, n)
 		for _, slack := range []int{8, 2} {
-			cfg.Row(t, func() {
+			cfg.Row(t, func(t *Table) {
 				totalBad, maxComp, comps := 0, 0, 0
 				for s := 0; s < seeds; s++ {
 					res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+s), MaxRounds: 1 << 22},
@@ -215,7 +217,7 @@ func E3Shattering(cfg Config) *Table {
 		// Theorem 11 S set (Δ=4 keeps Phase 1 contended enough for a
 		// non-empty S), aggregated over seeds.
 		g2 := graph.RandomTree(n, 4, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			totalS, maxS, compS := 0, 0, 0
 			for s := 0; s < seeds; s++ {
 				res2, err := sim.Run(g2, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+7*s) + 7, MaxRounds: 1 << 22},
@@ -237,6 +239,7 @@ func E3Shattering(cfg Config) *Table {
 			t.AddRow("T11 S", n, 4, totalS, compS, maxS, bound)
 		})
 	}
+	cfg.Flush(t)
 	t.Note("counts are aggregated over %d seeds; 'max comp' is the largest component ever "+
 		"observed and should stay below the bound column for the default-filtering rows", seeds)
 	t.Note("Lemma 3 turns per-vertex failure exp(-poly Δ) into the whp bound via distance-5 " +
@@ -258,14 +261,18 @@ func E4ZeroRound(cfg Config) *Table {
 	trials := cfg.trials(100, 400)
 	for _, delta := range []int{3, 4, 5, 6} {
 		ecg := graph.RandomRegularBipartite(12, delta, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			val, _ := sinkless.ZeroRoundMinimax(delta, 4*delta)
 			inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: delta}
 			inputs := inst.NodeInputs()
 			edges := ecg.Edges()
 			violations := 0
+			// One arena per row: the trial loop reuses the kernel buffers,
+			// and keeping it inside the closure keeps parallel rows (which
+			// run on different workers) from sharing scratch.
+			arena := &sim.Arena{}
 			for i := 0; i < trials; i++ {
-				res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs},
+				res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs, Arena: arena},
 					sinkless.NewZeroRoundFactory(sinkless.Uniform(delta)))
 				if err != nil {
 					panic(fmt.Sprintf("harness: E4 run: %v", err))
@@ -282,6 +289,7 @@ func E4ZeroRound(cfg Config) *Table {
 				fmt.Sprintf("%d×%d", trials, len(edges)))
 		})
 	}
+	cfg.Flush(t)
 	return t
 }
 
@@ -301,14 +309,15 @@ func E5RandFromDet(cfg Config) *Table {
 	r := rng.New(cfg.Seed + 5)
 	g := graph.RandomTree(n, 3, r)
 	for _, bits := range []int{4, 8, 12, 16} {
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			palette := speedup.Theorem5Palette(bits, n)
 			fopt := forest.Options{Q: 3, SizeBound: n, IDSpace: palette}
 			tDet := forest.NewPlan(fopt.Resolve(n)).Rounds()
 			factory := speedup.NewTheorem5Factory(tDet, bits, n, g.MaxDegree(), forest.NewFactory(fopt))
 			fails := 0
+			arena := &sim.Arena{}
 			for i := 0; i < trials; i++ {
-				res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22}, factory)
+				res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22, Arena: arena}, factory)
 				if err != nil {
 					panic(fmt.Sprintf("harness: E5 run: %v", err))
 				}
@@ -321,6 +330,7 @@ func E5RandFromDet(cfg Config) *Table {
 				ids.CollisionProbabilityBound(n, bits))
 		})
 	}
+	cfg.Flush(t)
 	t.Note("the deterministic inner algorithm is the Theorem 9 tree 3-coloring; its round " +
 		"bound t fixes the collection radius 2t+1, and total rounds are 3t+1 = O(t) as the theorem states")
 	return t
@@ -344,7 +354,7 @@ func E6Speedup(cfg Config) *Table {
 	for _, n := range sizes {
 		g := graph.RandomTree(n, delta, r)
 		assignment := ids.Shuffled(n, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			bits := mathx.CeilLog2(n + 1)
 			plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
 			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22},
@@ -357,6 +367,7 @@ func E6Speedup(cfg Config) *Table {
 				checkColoring(g, delta+1, colors))
 		})
 	}
+	cfg.Flush(t)
 	// Plan-level ℓ sweep (no simulation needed): the compression regime.
 	tb2 := speedup.SlowColoringRounds(delta, 1, 2)
 	var flat []string
@@ -389,7 +400,7 @@ func E7Dichotomy(cfg Config) *Table {
 		g := graph.Ring(n)
 		twoIDs := ids.Shuffled(n, r)
 		threeIDs := ids.Shuffled(n, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			res2, err := sim.Run(g, sim.Config{IDs: twoIDs}, ringcolor.NewTwoColorFactory())
 			if err != nil {
 				panic(fmt.Sprintf("harness: E7 2-color: %v", err))
@@ -411,6 +422,7 @@ func E7Dichotomy(cfg Config) *Table {
 			t.AddRow(n, res2.Rounds, res3.Rounds, ok)
 		})
 	}
+	cfg.Flush(t)
 	for _, tc := range []struct{ t, m, k int }{{0, 4, 2}, {1, 5, 2}, {0, 3, 3}, {0, 4, 3}, {1, 5, 3}} {
 		res := nbrgraph.AlgorithmExists(tc.t, tc.m, tc.k, 1<<24)
 		verdict := "UNDECIDED"
@@ -439,7 +451,7 @@ func E8Derandomization(cfg Config) *Table {
 	type setting struct{ bits, n, delta, idSpace int }
 	settings := []setting{{1, 2, 1, 2}, {2, 2, 1, 2}, {2, 3, 2, 3}}
 	for _, s := range settings {
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			alg := derand.PriorityMIS(s.bits)
 			instances := derand.EnumerateInstances(s.n, s.delta, s.idSpace)
 			res := derand.SearchPhi(alg, instances, s.idSpace, 1<<22)
@@ -460,6 +472,7 @@ func E8Derandomization(cfg Config) *Table {
 				fmt.Sprintf("%d", res.BadCount), unionBound, phiStr)
 		})
 	}
+	cfg.Flush(t)
 	t.Note("A_Rand is greedy MIS by random priority; its only failure mode is a blocking " +
 		"adjacent tie. Every reported φ* was re-verified to err on ZERO instances.")
 	return t
@@ -487,7 +500,7 @@ func E9Linial(cfg Config) *Table {
 			g = graph.RandomTree(n, delta, r)
 			assignment = ids.Shuffled(n, r)
 		}
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			sched := linial.Schedule(n, delta)
 			parts := []string{fmt.Sprint(n)}
 			for _, f := range sched {
@@ -509,6 +522,7 @@ func E9Linial(cfg Config) *Table {
 			t.AddRow(n, delta, rounds, linial.FixedPoint(n, delta), strings.Join(parts, "→"))
 		})
 	}
+	cfg.Flush(t)
 	t.Note("log*(2^20)=4-ish: the round column grows by at most one per squaring of n")
 	return t
 }
@@ -529,7 +543,7 @@ func E10MISMatching(cfg Config) *Table {
 		g := graph.RandomBoundedDegree(n, 2*n, 8, r)
 		detIDs := ids.Shuffled(n, r)
 		matchIDs := ids.Shuffled(n, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			valid := true
 			luby, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n)},
 				mis.NewLubyFactory(mis.LubyOptions{}))
@@ -560,6 +574,7 @@ func E10MISMatching(cfg Config) *Table {
 			t.AddRow(n, g.MaxDegree(), luby.Rounds, det.Rounds, rmatch.Rounds, dmatch.Rounds, okStr)
 		})
 	}
+	cfg.Flush(t)
 	return t
 }
 
@@ -593,7 +608,7 @@ func E11Sinkless(cfg Config) *Table {
 	for _, half := range halves {
 		d := 3
 		ecg := graph.RandomRegularBipartite(half, d, r)
-		cfg.Row(t, func() {
+		cfg.Row(t, func(t *Table) {
 			inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: d}
 			inputs := inst.NodeInputs()
 			res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half), Inputs: inputs},
@@ -637,6 +652,7 @@ func E11Sinkless(cfg Config) *Table {
 			t.AddRow(ecg.N(), d, orientOK, worst, colorOK, ofcOK)
 		})
 	}
+	cfg.Flush(t)
 	t.Note("'last sink step' is when the final sink token died — far inside the O(log n) budget, " +
 		"the RandLOCAL upper-bound side that Theorem 4 shows cannot drop below Ω(log_Δ log n)")
 	return t

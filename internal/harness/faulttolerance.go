@@ -155,7 +155,7 @@ func E12FaultTolerance(cfg Config) *Table {
 	for ci, c := range cases {
 		for pi, plan := range plans {
 			plan.FromRound = c.fromRound
-			cfg.Row(t, func() {
+			cfg.Row(t, func(t *Table) {
 				// The retry path is RetryContext: cancellation between
 				// attempts is honored (a drained jobs worker abandons the
 				// budget cleanly) and the backoff jitter stream is seeded
@@ -197,6 +197,7 @@ func E12FaultTolerance(cfg Config) *Table {
 			})
 		}
 	}
+	cfg.Flush(t)
 	t.Note("fault injection is off-model instrumentation (package fault): the paper's LOCAL " +
 		"model is synchronous and loss-free, so these rows measure robustness of the " +
 		"implementations, not a claim of the paper")

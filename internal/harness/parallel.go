@@ -1,0 +1,236 @@
+package harness
+
+// Deterministic parallel row scheduling.
+//
+// A sweep's rows are embarrassingly parallel: the checkpoint discipline
+// (checkpoint.go) already requires each compute closure to be a pure
+// function of its prep state and per-row seeds, with every shared-stream
+// RNG draw in the driver's prep section. Config.Workers exploits exactly
+// that contract: Row enqueues the closure instead of running it, a bounded
+// worker set computes batches speculatively — possibly out of order, each
+// into a private staging table — and the driver goroutine commits finished
+// batches strictly in row-index order. Because commits (table append,
+// checkpoint record, OnBatch) happen only on the driver goroutine and only
+// in order, everything observable — rendered bytes, checkpoint contents,
+// OnBatch sequence, resume behavior — is identical to a Workers=1 run.
+//
+// Ordering and failure rules:
+//
+//   - Speculation is bounded: the queue holds at most `workers` batches, so
+//     at most 2×workers batches (queued + in flight) exist beyond the
+//     committed prefix, which bounds the prep state kept alive.
+//   - Cancellation keeps row granularity: a dead Config.Ctx is observed
+//     before each commit and while enqueueing or flushing; the sweep then
+//     stops committing, reaps its workers, and panics the same *SweepError
+//     a sequential sweep would. Speculative batches that finished after the
+//     cancellation point are discarded — determinism makes recomputing them
+//     on resume byte-equivalent.
+//   - A panicking compute closure is recovered on the worker, held with its
+//     batch, and re-panicked on the driver goroutine when the batch reaches
+//     its in-order commit slot — after the workers are reaped — so the
+//     (row-index)-first failure surfaces, exactly as it would sequentially.
+//
+// Replayed batches never reach the scheduler: a resume checkpoint is a
+// strict prefix of the sweep, so Row replays it synchronously before the
+// first closure is enqueued.
+
+import (
+	"context"
+	"sync"
+)
+
+// specBatch is one speculatively computed row batch: the closure, the
+// private staging table it fills, and the recovered panic value if it
+// failed. done is closed when the worker finishes either way.
+type specBatch struct {
+	compute  func(*Table)
+	staging  *Table
+	panicked any
+	done     chan struct{}
+}
+
+// run executes the batch on a worker goroutine.
+func (sb *specBatch) run() {
+	defer close(sb.done)
+	defer func() {
+		if r := recover(); r != nil {
+			sb.panicked = r
+		}
+	}()
+	sb.compute(sb.staging)
+}
+
+// rowScheduler owns a parallel sweep's worker goroutines and its uncommitted
+// batches. It is driven entirely from the driver goroutine; only specBatch
+// computation happens on workers.
+type rowScheduler struct {
+	workers int
+	ctx     context.Context // Config.Ctx; may be nil
+
+	queue   chan *specBatch
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	pending []*specBatch // enqueued, uncommitted, in row-index order
+	started bool
+	stopped bool
+}
+
+// start spawns the workers on the first enqueue, so fully replayed sweeps
+// never spin up goroutines.
+func (sc *rowScheduler) start() {
+	if sc.started {
+		return
+	}
+	sc.started = true
+	sc.queue = make(chan *specBatch, sc.workers)
+	sc.quit = make(chan struct{})
+	for i := 0; i < sc.workers; i++ {
+		sc.wg.Add(1)
+		go func() {
+			defer sc.wg.Done()
+			for {
+				// Prefer quit so a stopping sweep stops promptly even when
+				// the queue still holds work.
+				select {
+				case <-sc.quit:
+					return
+				default:
+				}
+				select {
+				case sb, ok := <-sc.queue:
+					if !ok {
+						return
+					}
+					sb.run()
+				case <-sc.quit:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// ctxDone returns the cancellation channel, or nil when the sweep has no
+// context.
+func (sc *rowScheduler) ctxDone() <-chan struct{} {
+	if sc.ctx == nil {
+		return nil
+	}
+	return sc.ctx.Done()
+}
+
+// stop reaps the workers without draining the queue: in-flight batches
+// finish their current compute, queued ones are abandoned. Used on abort
+// paths (cancellation, compute panic) before re-panicking on the driver
+// goroutine.
+func (sc *rowScheduler) stop() {
+	if sc.stopped {
+		return
+	}
+	sc.stopped = true
+	if sc.started {
+		close(sc.quit)
+		sc.wg.Wait()
+	}
+}
+
+// finish retires the workers after a fully committed sweep: the queue is
+// empty, so closing it lets each worker drain and exit.
+func (sc *rowScheduler) finish() {
+	if sc.stopped {
+		return
+	}
+	sc.stopped = true
+	if sc.started {
+		close(sc.queue)
+		sc.wg.Wait()
+	}
+}
+
+// enqueue hands a compute closure to the workers. When the queue is
+// saturated it blocks — committing batches that become ready in the
+// meantime, and aborting if the sweep's context dies.
+func (s *sweepState) enqueue(t *Table, compute func(*Table)) {
+	sc := s.sched
+	sc.start()
+	sb := &specBatch{
+		compute: compute,
+		staging: &Table{ID: t.ID, Title: t.Title, Claim: t.Claim, Columns: t.Columns},
+		done:    make(chan struct{}),
+	}
+	for {
+		var headDone chan struct{}
+		if len(sc.pending) > 0 {
+			headDone = sc.pending[0].done
+		}
+		select {
+		case sc.queue <- sb:
+			sc.pending = append(sc.pending, sb)
+			return
+		case <-headDone:
+			s.commitHead(t)
+		case <-sc.ctxDone():
+			s.abort(s.interrupted(t))
+		}
+	}
+}
+
+// drainReady commits, in order, every pending batch that has already
+// finished, without blocking.
+func (s *sweepState) drainReady(t *Table) {
+	sc := s.sched
+	if sc == nil {
+		return
+	}
+	for len(sc.pending) > 0 {
+		select {
+		case <-sc.pending[0].done:
+			s.commitHead(t)
+		default:
+			return
+		}
+	}
+}
+
+// flush blocks until every pending batch is committed in order, then
+// retires the workers. A dead context, or a panicked batch reaching its
+// commit slot, aborts instead.
+func (s *sweepState) flush(t *Table) {
+	sc := s.sched
+	for len(sc.pending) > 0 {
+		select {
+		case <-sc.pending[0].done:
+			s.commitHead(t)
+		case <-sc.ctxDone():
+			s.abort(s.interrupted(t))
+		}
+	}
+	sc.finish()
+	s.sched = nil // later Row calls (none in practice) fall back to inline
+}
+
+// commitHead commits the oldest pending batch, which must have finished.
+// The context is re-checked first so a cancellation raised by the previous
+// commit's OnBatch (the supervision layer's kill point) stops the sweep
+// before another batch lands.
+func (s *sweepState) commitHead(t *Table) {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.abort(s.interrupted(t))
+	}
+	sc := s.sched
+	sb := sc.pending[0]
+	sc.pending = sc.pending[1:]
+	if sb.panicked != nil {
+		s.abort(sb.panicked)
+	}
+	s.commitBatch(t, sb.staging.Rows, cloneBatch(sb.staging.Rows))
+}
+
+// abort reaps the workers and re-panics v on the driver goroutine. The
+// sweep is unusable afterwards; supervision layers recover the panic.
+func (s *sweepState) abort(v any) {
+	if s.sched != nil {
+		s.sched.stop()
+	}
+	panic(v)
+}

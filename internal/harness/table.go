@@ -7,9 +7,12 @@ package harness
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
+	"time"
+	"unicode/utf8"
 )
 
 // Table is one experiment's result: a claim, columns, measured rows, notes.
@@ -29,16 +32,46 @@ type Table struct {
 
 // AddRow appends a row of stringified cells.
 func (t *Table) AddRow(cells ...any) {
+	t.Rows = append(t.Rows, formatRow(cells))
+}
+
+// formatRow stringifies one row of cells with stable-width numeric
+// formatting: floats (both sizes) at 4 significant digits, durations rounded
+// to 4 significant digits before rendering. Everything else goes through
+// fmt.Sprint.
+func formatRow(cells []any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
 			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", float64(v))
+		case time.Duration:
+			row[i] = formatDuration(v)
 		default:
-			row[i] = fmt.Sprint(v)
+			row[i] = fmt.Sprint(c)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
+}
+
+// formatDuration rounds a duration to 4 significant digits so cells like
+// 1.234567891s render as the stable-width 1.235s rather than a full
+// nanosecond tail.
+func formatDuration(d time.Duration) string {
+	if d == 0 {
+		return "0s"
+	}
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	grain := time.Duration(1)
+	for abs/grain >= 10000 {
+		grain *= 10
+	}
+	return d.Round(grain).String()
 }
 
 // Note appends a free-form note line.
@@ -46,18 +79,20 @@ func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Render writes an aligned plain-text table.
+// Render writes an aligned plain-text table. Column widths are measured in
+// runes, not bytes, so multi-byte cells (Δ, ≤, →) stay aligned.
 func (t *Table) Render(w io.Writer) {
+	t.assertCommitted("Render")
 	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	fmt.Fprintf(w, "claim: %s\n", t.Claim)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -83,26 +118,34 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// CSV writes the rows as comma-separated values (header first).
+// CSV writes the rows as RFC 4180 comma-separated values (header first):
+// cells containing commas, quotes or newlines are quoted, so no cell can
+// silently corrupt the record structure.
 func (t *Table) CSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	t.assertCommitted("CSV")
+	cw := csv.NewWriter(w)
+	cw.Write(t.Columns)
 	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+		cw.Write(row)
 	}
+	cw.Flush()
 }
 
 // Markdown writes a GitHub-flavored markdown table (for EXPERIMENTS.md).
+// Pipes in headers and cells are escaped as \| so no cell can break the
+// table layout.
 func (t *Table) Markdown(w io.Writer) {
+	t.assertCommitted("Markdown")
 	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
 	fmt.Fprintf(w, "*Claim:* %s\n\n", t.Claim)
-	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	fmt.Fprintf(w, "| %s |\n", strings.Join(mdEscape(t.Columns), " | "))
 	sep := make([]string, len(t.Columns))
 	for i := range sep {
 		sep[i] = "---"
 	}
 	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
 	for _, row := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+		fmt.Fprintf(w, "| %s |\n", strings.Join(mdEscape(row), " | "))
 	}
 	fmt.Fprintln(w)
 	for _, n := range t.Notes {
@@ -110,11 +153,20 @@ func (t *Table) Markdown(w io.Writer) {
 	}
 }
 
-func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
+// mdEscape escapes markdown table delimiters in every cell.
+func mdEscape(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", `\|`)
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return out
+}
+
+func pad(s string, w int) string {
+	if n := utf8.RuneCountInString(s); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
 }
 
 // Config controls experiment scale and, for supervised runs, the sweep's
@@ -127,6 +179,13 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers, when > 1, fans the sweep's row computations out over that
+	// many worker goroutines (see parallel.go): rows are computed
+	// speculatively out of order and committed strictly in row-index
+	// order, so tables, checkpoints and OnBatch calls are byte-identical
+	// to a Workers<=1 run. 0 and 1 compute rows inline (the historical
+	// behavior). Workers is not part of the checkpoint identity.
+	Workers int
 	// Ctx, when non-nil, cancels a sweep between row batches: Config.Row
 	// aborts with a panicked *SweepError as soon as the context dies.
 	Ctx context.Context

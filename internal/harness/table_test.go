@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// adversarialTable exercises every cell hazard the renderers must survive:
+// commas and quotes (CSV structure), pipes (markdown structure), newlines,
+// and multi-byte runes (width arithmetic).
+func adversarialTable() *Table {
+	t := &Table{
+		ID:      "T0",
+		Title:   "adversarial cells",
+		Claim:   "rendering survives commas, pipes, quotes and multi-byte runes",
+		Columns: []string{"n", "Δ≤", "plan"},
+	}
+	t.AddRow(1, "a→b", `crash 50%, drop "5%"`)
+	t.AddRow(22, "x|y", "plain")
+	t.AddRow(333, "ΔΔΔΔ", "line1\nline2")
+	t.Note("note with | pipe and Δ")
+	return t
+}
+
+func TestRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	adversarialTable().Render(&buf)
+	// Widths are rune counts: "Δ≤" is 2 runes wide, its widest cell "ΔΔΔΔ"
+	// is 4, so the column pads to 4 columns of runes, not 8 bytes.
+	want := "== T0: adversarial cells ==\n" +
+		"claim: rendering survives commas, pipes, quotes and multi-byte runes\n" +
+		"  n    Δ≤    plan                \n" +
+		"  ---  ----  --------------------\n" +
+		"  1    a→b   crash 50%, drop \"5%\"\n" +
+		"  22   x|y   plain               \n" +
+		"  333  ΔΔΔΔ  line1\nline2         \n" +
+		"  note: note with | pipe and Δ\n\n"
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch\n--- want ---\n%q\n--- got ---\n%q", want, got)
+	}
+}
+
+func TestCSVGoldenAndRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	adversarialTable().CSV(&buf)
+	want := "n,Δ≤,plan\n" +
+		"1,a→b,\"crash 50%, drop \"\"5%\"\"\"\n" +
+		"22,x|y,plain\n" +
+		"333,ΔΔΔΔ,\"line1\nline2\"\n"
+	if got := buf.String(); got != want {
+		t.Errorf("CSV mismatch\n--- want ---\n%q\n--- got ---\n%q", want, got)
+	}
+
+	// Round trip: an RFC 4180 reader recovers the exact records, so no cell
+	// corrupted the structure.
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing emitted CSV: %v", err)
+	}
+	tbl := adversarialTable()
+	wantRecords := append([][]string{tbl.Columns}, tbl.Rows...)
+	if !reflect.DeepEqual(records, wantRecords) {
+		t.Errorf("CSV round trip mismatch\n--- want ---\n%q\n--- got ---\n%q", wantRecords, records)
+	}
+}
+
+func TestMarkdownGolden(t *testing.T) {
+	var buf bytes.Buffer
+	adversarialTable().Markdown(&buf)
+	want := "### T0 — adversarial cells\n\n" +
+		"*Claim:* rendering survives commas, pipes, quotes and multi-byte runes\n\n" +
+		"| n | Δ≤ | plan |\n" +
+		"| --- | --- | --- |\n" +
+		"| 1 | a→b | crash 50%, drop \"5%\" |\n" +
+		`| 22 | x\|y | plain |` + "\n" +
+		"| 333 | ΔΔΔΔ | line1\nline2 |\n\n" +
+		"*Note:* note with | pipe and Δ\n\n"
+	if got := buf.String(); got != want {
+		t.Errorf("Markdown mismatch\n--- want ---\n%q\n--- got ---\n%q", want, got)
+	}
+}
+
+// TestAddRowFormatting pins the cell formatting contract: floats of both
+// sizes at 4 significant digits, durations rounded to 4 significant digits,
+// everything else via fmt.Sprint.
+func TestAddRowFormatting(t *testing.T) {
+	tbl := &Table{Columns: []string{"v"}}
+	tbl.AddRow(1.0/3.0, float32(1.0/3.0), 0.0001875, float32(2.5))
+	tbl.AddRow(
+		1234567891*time.Nanosecond, // 1.234567891s → 1.235s
+		time.Duration(0),
+		-1234567891*time.Nanosecond,
+		1500*time.Millisecond, // exact at 4 digits: stays 1.5s
+		987654321*time.Microsecond,
+		3*time.Nanosecond,
+	)
+	tbl.AddRow(42, "s", true)
+	want := [][]string{
+		{"0.3333", "0.3333", "0.0001875", "2.5"},
+		{"1.235s", "0s", "-1.235s", "1.5s", "16m27.7s", "3ns"},
+		{"42", "s", "true"},
+	}
+	if !reflect.DeepEqual(tbl.Rows, want) {
+		t.Errorf("AddRow formatting mismatch\n--- want ---\n%q\n--- got ---\n%q", want, tbl.Rows)
+	}
+}

@@ -53,6 +53,11 @@ type Spec struct {
 	// Timeout, when positive, bounds the job's total running time (queue
 	// wait excluded). Expiry fails the job with a deadline classification.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// Workers, when > 1, computes the sweep's rows in parallel (see
+	// harness.Config.Workers). It changes only wall-clock time, never
+	// output: it is deliberately NOT part of the determinism identity, so
+	// checkpoints resume across worker counts.
+	Workers int `json:"workers,omitempty"`
 }
 
 // State is a job's lifecycle position. Terminal states are Succeeded,

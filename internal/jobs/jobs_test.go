@@ -394,3 +394,28 @@ func TestDrainForcedCancellation(t *testing.T) {
 		t.Errorf("idempotent close: %v", err)
 	}
 }
+
+// TestParallelSpecByteIdentical asserts Spec.Workers changes only wall-clock
+// behavior: a parallel job's output and checkpoint trajectory are
+// byte-identical to the sequential job's.
+func TestParallelSpecByteIdentical(t *testing.T) {
+	want, wantBatches := runDirect(t, jobs.Spec{Experiment: "E4", Quick: true, Seed: 7})
+	before := runtime.NumGoroutine()
+	p := jobs.New(jobs.Options{Workers: 1})
+	id, err := p.Submit(jobs.Spec{Experiment: "E4", Quick: true, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	j := waitTerminal(t, p, id)
+	if j.State != jobs.StateSucceeded {
+		t.Fatalf("state %s, error %q", j.State, j.Error)
+	}
+	if j.Output != want {
+		t.Errorf("parallel job output differs from sequential direct run:\n%s", j.Output)
+	}
+	if j.BatchesDone != wantBatches {
+		t.Errorf("parallel job checkpointed %d batches, want %d", j.BatchesDone, wantBatches)
+	}
+	closePool(t, p)
+	checkGoroutines(t, before)
+}

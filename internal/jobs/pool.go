@@ -357,10 +357,11 @@ func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tb
 	}()
 	driver, _ := lookup(j.spec.Experiment)
 	cfg := harness.Config{
-		Quick:  j.spec.Quick,
-		Seed:   j.spec.Seed,
-		Ctx:    ctx,
-		Resume: *ck,
+		Quick:   j.spec.Quick,
+		Seed:    j.spec.Seed,
+		Workers: j.spec.Workers,
+		Ctx:     ctx,
+		Resume:  *ck,
 		OnBatch: func(c *harness.Checkpoint) {
 			snap := c.Clone()
 			*ck = snap

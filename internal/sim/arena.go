@@ -1,0 +1,104 @@
+package sim
+
+// Arena is caller-owned scratch memory for the simulator kernel. A harness
+// that runs many simulations back to back (a sweep row's trial loop, a
+// benchmark) passes the same *Arena in Config.Arena and the kernel reuses
+// the per-run machine table and inbox buffers instead of reallocating them,
+// dropping the steady-state allocation cost of a run to the per-run Result
+// (and whatever the machines themselves allocate).
+//
+// Safety rules, enforced by construction:
+//
+//   - A Result never aliases arena memory: Outputs and HaltRound are freshly
+//     allocated every run, so results stay valid after the arena is reused.
+//   - Buffers are cleared when acquired, not when released, so a run never
+//     observes a previous run's messages — and an abandoned run (error,
+//     cancellation) poisons nothing.
+//   - An Arena may be reused across topologies of any size (buffers grow
+//     monotonically), but must not be shared by concurrent Runs: it is
+//     deliberately unsynchronized scratch. nil is always valid and means
+//     "allocate fresh" (the historical behavior).
+type Arena struct {
+	machines []Machine
+	inboxes  [][]Message
+	msgs     []Message
+	done     []bool
+	chans    [][]chan Message
+	chanFlat []chan Message
+}
+
+// grow returns buf resliced to length n, reallocating only when the backing
+// array is too small. The contents are unspecified; callers clear what they
+// need.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// sequential acquires the runSequential working set for g: the machine
+// table, the two port-indexed inbox buffers (carved out of one flat message
+// backing), and the halted flags — all cleared. A nil arena degrades to
+// plain allocation.
+func (a *Arena) sequential(g Topology) (machines []Machine, cur, next [][]Message, done []bool) {
+	n := g.N()
+	sumDeg := 0
+	for v := 0; v < n; v++ {
+		sumDeg += g.Degree(v)
+	}
+	if a == nil {
+		a = &Arena{}
+	}
+	a.machines = grow(a.machines, n)
+	clear(a.machines[:cap(a.machines)]) // drop machine refs beyond n too
+	a.msgs = grow(a.msgs, 2*sumDeg)
+	clear(a.msgs)
+	a.done = grow(a.done, n)
+	clear(a.done)
+	a.inboxes = grow(a.inboxes, 2*n)
+	cur, next = a.inboxes[:n], a.inboxes[n:]
+	off := 0
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		cur[v] = a.msgs[off : off+deg : off+deg]
+		next[v] = a.msgs[off+sumDeg : off+sumDeg+deg : off+sumDeg+deg]
+		off += deg
+	}
+	return a.machines, cur, next, a.done
+}
+
+// concurrent acquires runConcurrent's coordinator-side working set: the
+// per-node receive buffers (carved from the same flat message backing the
+// sequential engine uses) and the out/in channel headers. The channels
+// themselves are always created fresh — a reused channel could carry a
+// buffered message out of an aborted run — so the arena trims the header
+// and buffer allocations, which dominate for the small graphs the
+// engine-equivalence sweeps run on.
+func (a *Arena) concurrent(g Topology) (recv [][]Message, out, in [][]chan Message) {
+	n := g.N()
+	sumDeg := 0
+	for v := 0; v < n; v++ {
+		sumDeg += g.Degree(v)
+	}
+	if a == nil {
+		a = &Arena{}
+	}
+	a.msgs = grow(a.msgs, sumDeg)
+	clear(a.msgs)
+	a.inboxes = grow(a.inboxes, n)
+	recv = a.inboxes[:n]
+	a.chans = grow(a.chans, 2*n)
+	out, in = a.chans[:n], a.chans[n:]
+	a.chanFlat = grow(a.chanFlat, 2*sumDeg)
+	clear(a.chanFlat) // stale channels from a larger prior run must not linger
+	off := 0
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		recv[v] = a.msgs[off : off+deg : off+deg]
+		out[v] = a.chanFlat[off : off+deg : off+deg]
+		in[v] = a.chanFlat[off+sumDeg : off+sumDeg+deg : off+sumDeg+deg]
+		off += deg
+	}
+	return recv, out, in
+}

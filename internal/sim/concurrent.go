@@ -37,12 +37,11 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 	maxDeg := topologyMaxDegree(g)
 
 	// out[v][p] is the channel carrying v's port-p messages; the neighbor u
-	// with reverse port q receives on out[v][p] == in[u][q].
-	out := make([][]chan Message, n)
-	in := make([][]chan Message, n)
+	// with reverse port q receives on out[v][p] == in[u][q]. The header
+	// slices and receive buffers come from the caller's arena when one is
+	// set; the channels themselves are always fresh (see Arena.concurrent).
+	recvs, out, in := cfg.Arena.concurrent(g)
 	for v := 0; v < n; v++ {
-		out[v] = make([]chan Message, g.Degree(v))
-		in[v] = make([]chan Message, g.Degree(v))
 		for p := range out[v] {
 			out[v][p] = make(chan Message, 1)
 		}
@@ -77,7 +76,7 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 			m := f()
 			initFault := initGuarded(m, v, makeEnv(g, cfg, maxDeg, v))
 			deg := g.Degree(v)
-			recv := make([]Message, deg)
+			recv := recvs[v]
 			done := initFault != nil
 			round := 0
 			for {

@@ -22,18 +22,15 @@ func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 		deadline = time.Now().Add(cfg.Deadline)
 	}
 
-	machines := make([]Machine, n)
-	inboxCur := make([][]Message, n)
-	inboxNext := make([][]Message, n)
-	done := make([]bool, n)
+	// The working buffers come from the caller's arena when one is set;
+	// haltRound is always fresh because the Result keeps it.
+	machines, inboxCur, inboxNext, done := cfg.Arena.sequential(g)
 	haltRound := make([]int, n)
 	for v := 0; v < n; v++ {
 		machines[v] = f()
 		if ne := initGuarded(machines[v], v, makeEnv(g, cfg, maxDeg, v)); ne != nil {
 			return nil, ne
 		}
-		inboxCur[v] = make([]Message, g.Degree(v))
-		inboxNext[v] = make([]Message, g.Degree(v))
 	}
 
 	res := &Result{HaltRound: haltRound}

@@ -120,6 +120,11 @@ type Config struct {
 	// stuck inside Step, a round that never completes) where the logical
 	// MaxRounds budget cannot trigger. Expiry returns ErrDeadline.
 	Deadline time.Duration
+	// Arena, when non-nil, supplies reusable scratch buffers for the run's
+	// machine table and inboxes, so a trial loop that reuses one Arena pays
+	// the buffer allocations once instead of per run. Results never alias
+	// arena memory. An Arena must not be shared by concurrent Runs.
+	Arena *Arena
 	// OnRound, when non-nil, is invoked once per completed step with the
 	// step number (1, 2, ...) after every node has executed it and its
 	// messages are in flight. It is a progress hook for supervision layers
@@ -231,6 +236,11 @@ func makeEnv(g Topology, cfg Config, maxDeg, v int) Env {
 }
 
 func topologyMaxDegree(g Topology) int {
+	// Generators precompute Δ; the interface stays minimal but the common
+	// case skips the O(n) sweep.
+	if md, ok := g.(interface{ MaxDegree() int }); ok {
+		return md.MaxDegree()
+	}
 	maxDeg := 0
 	for v := 0; v < g.N(); v++ {
 		if d := g.Degree(v); d > maxDeg {

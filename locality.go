@@ -117,6 +117,10 @@ type Message = sim.Message
 // RunConfig selects the model variant and run parameters.
 type RunConfig = sim.Config
 
+// Arena is reusable scratch memory for back-to-back runs: pass one in
+// RunConfig.Arena and the kernel reuses machine/inbox buffers across runs.
+type Arena = sim.Arena
+
 // RunResult reports rounds, outputs and instrumentation.
 type RunResult = sim.Result
 

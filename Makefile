@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-kernel race-supervision fuzz-smoke bench experiments
+.PHONY: all build test vet lint race race-kernel race-supervision fuzz-smoke obs bench experiments
 
 all: build test
 
@@ -47,13 +47,25 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLCLCheck -fuzztime=5s ./internal/lcl
 	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/fault
 
+# Observability gate (CI, tier 1): the telemetry layer's inertness contract
+# (DESIGN.md §9). localvet's obsinert analyzer proves hot paths never consume
+# observability results; the -race test sweep covers the metric types, the
+# run-report sink, the telemetry-on/off byte-identity differentials, the
+# exposition goldens, and the /metrics + pprof endpoints.
+obs:
+	$(GO) run ./cmd/localvet -only obsinert,nowallclock ./...
+	$(GO) test -race -count=1 ./internal/obs ./internal/sim ./internal/harness ./cmd/localityd ./cmd/localbench
+
 # Perf trajectory: run the Go benchmarks with allocation reporting, then
 # time every experiment at quick scale and write BENCH_<stamp>.json next to
-# the checked-in baseline. When a baseline exists, the run fails on a >25%
-# ns/op regression (tune with -bench-regress; see cmd/localbench/bench.go).
+# the checked-in baseline (failing on a >25% ns/op regression when one
+# exists; tune with -bench-regress — see cmd/localbench/bench.go), and
+# finally emit RUNREPORT.jsonl, the quick-scale round/batch telemetry
+# artifact (see internal/obs).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 	$(GO) run ./cmd/localbench -bench-json
+	$(GO) run ./cmd/localbench -quick -run-report RUNREPORT.jsonl > /dev/null
 
 # Regenerate the full-scale EXPERIMENTS.md tables (takes minutes).
 experiments:

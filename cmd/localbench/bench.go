@@ -43,14 +43,37 @@ type benchEntry struct {
 	Iters       int     `json:"iters"`
 }
 
+// benchFile is the artifact header plus entries. The header records the
+// measurement environment's provenance — Go version, GOOS/GOARCH,
+// GOMAXPROCS, worker count — so a baseline comparison that crosses machines
+// or toolchains is visible in the artifacts it compared.
 type benchFile struct {
-	Schema  string       `json:"schema"`
-	Stamp   string       `json:"stamp"`
-	Go      string       `json:"go"`
-	Quick   bool         `json:"quick"`
-	Seed    uint64       `json:"seed"`
-	Workers int          `json:"workers"`
-	Entries []benchEntry `json:"entries"`
+	Schema     string       `json:"schema"`
+	Stamp      string       `json:"stamp"`
+	Go         string       `json:"go"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Seed       uint64       `json:"seed"`
+	Workers    int          `json:"workers"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// newBenchFile stamps an artifact header with the measurement environment's
+// provenance.
+func newBenchFile(seed uint64, workers int) benchFile {
+	return benchFile{
+		Schema:     benchSchema,
+		Stamp:      time.Now().UTC().Format(benchStampFormat),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      true,
+		Seed:       seed,
+		Workers:    workers,
+	}
 }
 
 // benchOne measures one experiment at quick scale: a warmup run, then timed
@@ -141,14 +164,7 @@ func compareBaseline(baseline, current []benchEntry, pct, minNs float64) []regre
 // (<= 0 disables the gate).
 func runBenchJSON(dir string, seed uint64, workers int, regressPct float64) int {
 	cfg := harness.Config{Quick: true, Seed: seed, Workers: workers}
-	out := benchFile{
-		Schema:  benchSchema,
-		Stamp:   time.Now().UTC().Format(benchStampFormat),
-		Go:      runtime.Version(),
-		Quick:   true,
-		Seed:    seed,
-		Workers: workers,
-	}
+	out := newBenchFile(seed, workers)
 	for _, id := range benchExperiments {
 		e, err := benchOne(id, cfg, 200*time.Millisecond, 2)
 		if err != nil {

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	localbench [-experiment=E1|...|E13|all] [-quick] [-seed N] [-workers N] [-format text|csv|markdown]
+//	localbench [-experiment=E1|...|E13|all] [-quick] [-seed N] [-workers N] [-format text|csv|markdown] [-run-report PATH]
 //	localbench -bench-json [-bench-dir DIR] [-bench-regress PCT] [-seed N] [-workers N]
 //
 // Full mode (the default) matches the EXPERIMENTS.md record and takes a few
 // minutes; -quick shrinks every sweep to run in seconds. -workers computes
-// sweep rows in parallel without changing a byte of output. -bench-json
-// times every experiment at quick scale, writes BENCH_<stamp>.json, and —
-// when an earlier artifact exists in -bench-dir — exits nonzero on a
+// sweep rows in parallel without changing a byte of output. -run-report
+// writes a JSONL telemetry artifact (per-round simulator counters, per-batch
+// sweep timing; see internal/obs) alongside the tables — the tables
+// themselves are byte-identical with or without it. -bench-json times every
+// experiment at quick scale, writes BENCH_<stamp>.json, and — when an
+// earlier artifact exists in -bench-dir — exits nonzero on a
 // >-bench-regress% ns/op regression (see bench.go).
 package main
 
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"locality/internal/harness"
+	"locality/internal/obs"
 )
 
 func main() {
@@ -35,6 +39,7 @@ func run() int {
 		seed       = flag.Uint64("seed", 2016, "random seed for all experiments")
 		workers    = flag.Int("workers", 1, "parallel row workers per sweep (output is identical at any count)")
 		format     = flag.String("format", "text", "output format: text, csv or markdown")
+		runReport  = flag.String("run-report", "", "write a JSONL run report (round/batch telemetry) to this path")
 
 		benchJSON    = flag.Bool("bench-json", false, "benchmark every experiment at quick scale and write BENCH_<stamp>.json")
 		benchDir     = flag.String("bench-dir", ".", "directory for BENCH_*.json artifacts (and where the baseline is looked up)")
@@ -47,6 +52,23 @@ func run() int {
 	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *runReport != "" {
+		f, err := os.Create(*runReport)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "localbench: creating run report: %v\n", err)
+			return 2
+		}
+		rep := obs.NewRunReport(f, obs.ReportMeta{
+			Experiment: *experiment, Seed: *seed, Quick: *quick, Workers: *workers,
+		})
+		cfg.Obs = rep
+		defer func() {
+			if err := rep.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "localbench: writing run report: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 	var tables []*harness.Table
 	switch {
 	case strings.EqualFold(*experiment, "all"):

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"locality/internal/harness"
+	"locality/internal/obs"
 )
 
 // TestBenchOneMeasures smokes the per-experiment measurement on a cheap
@@ -105,5 +109,88 @@ func TestBenchFileRoundTrip(t *testing.T) {
 	}
 	if out.Schema != in.Schema || len(out.Entries) != 1 || out.Entries[0] != in.Entries[0] {
 		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+// TestBenchFileProvenance: the artifact header records the measurement
+// environment, so cross-machine or cross-toolchain baseline comparisons are
+// visible in the artifacts themselves.
+func TestBenchFileProvenance(t *testing.T) {
+	f := newBenchFile(7, 4)
+	if f.Schema != benchSchema || !f.Quick || f.Seed != 7 || f.Workers != 4 {
+		t.Errorf("header identity = %+v", f)
+	}
+	if f.Go != runtime.Version() || f.GOOS != runtime.GOOS || f.GOARCH != runtime.GOARCH {
+		t.Errorf("provenance = %s/%s/%s, want %s/%s/%s",
+			f.Go, f.GOOS, f.GOARCH, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	}
+	if f.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", f.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if _, err := time.Parse(benchStampFormat, f.Stamp); err != nil {
+		t.Errorf("stamp %q does not parse as %s: %v", f.Stamp, benchStampFormat, err)
+	}
+	enc, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"goos"`, `"goarch"`, `"gomaxprocs"`} {
+		if !strings.Contains(string(enc), key) {
+			t.Errorf("artifact JSON missing %s: %s", key, enc)
+		}
+	}
+}
+
+// TestRunReportArtifact drives an experiment the way -run-report does —
+// RunReport as the harness Observer — and checks the JSONL artifact brackets
+// telemetry records with meta and summary while the table stays byte-
+// identical to an unobserved run.
+func TestRunReportArtifact(t *testing.T) {
+	driver, ok := harness.ByID("E2")
+	if !ok {
+		t.Fatal("E2 missing from registry")
+	}
+	base := harness.Config{Quick: true, Seed: 7}
+	var want bytes.Buffer
+	driver(base).Render(&want)
+
+	path := filepath.Join(t.TempDir(), "report.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := obs.NewRunReport(f, obs.ReportMeta{Experiment: "E2", Seed: 7, Quick: true, Workers: 1})
+	cfg := base
+	cfg.Obs = rep
+	var got bytes.Buffer
+	driver(cfg).Render(&got)
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("run report changed the rendered table")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("report has %d lines, want >= 3", len(lines))
+	}
+	var meta, sum map[string]any
+	if err := json.Unmarshal(lines[0], &meta); err != nil {
+		t.Fatalf("meta line: %v", err)
+	}
+	if meta["type"] != "meta" || meta["schema"] != obs.ReportSchema || meta["experiment"] != "E2" {
+		t.Errorf("meta record = %v", meta)
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil {
+		t.Fatalf("summary line: %v", err)
+	}
+	if sum["type"] != "summary" || sum["total_rounds"] == float64(0) {
+		t.Errorf("summary record = %v", sum)
 	}
 }

@@ -11,6 +11,10 @@
 //	DELETE /v1/jobs/{id} request cancellation
 //	GET    /healthz      liveness (200 while the process serves)
 //	GET    /readyz       readiness (503 once draining)
+//	GET    /metrics      Prometheus text exposition (pool + HTTP metrics)
+//
+// Profiling is opt-in: -pprof-addr spawns net/http/pprof on a separate
+// listener, never on the API port.
 package main
 
 import (
@@ -22,13 +26,16 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"locality/internal/harness"
 	"locality/internal/jobs"
+	"locality/internal/obs"
 )
 
 // submitRequest is the POST /v1/jobs body.
@@ -65,9 +72,14 @@ type server struct {
 	inflight chan struct{}
 	// requestTimeout bounds each request's context.
 	requestTimeout time.Duration
+	// reg backs /metrics; the pool shares it. Nil disables instrumentation
+	// (every obs call below is nil-safe).
+	reg *obs.Registry
+	// rejected counts requests shed by the inflight limiter.
+	rejected *obs.Counter
 }
 
-func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration) *server {
+func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration, reg *obs.Registry) *server {
 	if maxInflight <= 0 {
 		maxInflight = 64
 	}
@@ -75,28 +87,68 @@ func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration) *
 		pool:           pool,
 		inflight:       make(chan struct{}, maxInflight),
 		requestTimeout: requestTimeout,
+		reg:            reg,
+		rejected:       reg.Counter("locality_http_rejected_total", "Requests shed by the concurrency limiter."),
 	}
 }
 
-// handler builds the routed, limited, deadline-bounded HTTP handler.
+// handler builds the routed, instrumented, limited, deadline-bounded HTTP
+// handler.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() || s.pool.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error: "draining", Reason: "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-	})
+	}))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.limit(mux)
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route with a latency histogram and a per-status
+// request counter. Routes are named explicitly (not from the request path)
+// so the label space stays bounded.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("locality_http_request_seconds",
+		"HTTP request latency by route.", obs.DefTimeBuckets, "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.reg.Counter("locality_http_requests_total",
+			"HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(sw.status)).Inc()
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition. It is deliberately
+// outside instrument: scrapes should not perturb the latency histograms
+// they read.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
 }
 
 // limit is the backpressure middleware: at most cap(inflight) concurrent
@@ -109,6 +161,7 @@ func (s *server) limit(next http.Handler) http.Handler {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
+			s.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error: "too many concurrent requests", Reason: "overloaded"})
@@ -233,6 +286,8 @@ func main() {
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		requestTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline")
 		maxInflight    = flag.Int("max-inflight", 64, "concurrent request limit (excess rejected 503)")
+		pprofAddr      = flag.String("pprof-addr", "", "opt-in net/http/pprof listen address (empty = disabled)")
+		reportDir      = flag.String("report-dir", "", "directory for per-job JSONL run reports (empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(*addr, jobs.Options{
@@ -241,30 +296,60 @@ func main() {
 		CheckpointDir: *checkpointDir,
 		RetryBudget:   *retryBudget,
 		Backoff:       harness.Backoff{Base: *retryBase, Max: *retryMax, Seed: *backoffSeed},
-	}, *drainTimeout, *requestTimeout, *maxInflight); err != nil {
+		ReportDir:     *reportDir,
+	}, *drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run resolves the listen address; serve owns the lifecycle.
-func run(addr string, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int) error {
+func run(addr string, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("localityd: listen: %w", err)
 	}
-	return serve(ln, poolOpts, drainTimeout, requestTimeout, maxInflight)
+	return serve(ln, poolOpts, drainTimeout, requestTimeout, maxInflight, pprofAddr)
+}
+
+// pprofHandler routes the net/http/pprof endpoints. It backs the opt-in
+// -pprof-addr listener only — profiling never shares the API port, so a
+// scrape-armed deployment exposes nothing extra by default.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the service on an existing listener until SIGTERM/SIGINT, then
 // drains: readiness flips, the pool runs down to the drain deadline
 // (checkpointing whatever it must cancel), and every goroutine is reaped
 // before serve returns.
-func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int) error {
+func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
+	reg := obs.NewRegistry()
+	poolOpts.Metrics = reg
 	pool := jobs.New(poolOpts)
-	s := newServer(pool, maxInflight, requestTimeout)
+	s := newServer(pool, maxInflight, requestTimeout, reg)
 	srv := &http.Server{
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("localityd: pprof listen: %w", err)
+		}
+		psrv := &http.Server{Handler: pprofHandler(), ReadHeaderTimeout: 5 * time.Second}
+		defer psrv.Close()
+		go func() {
+			log.Printf("localityd pprof listening on %s", pln.Addr())
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("localityd: pprof serve: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

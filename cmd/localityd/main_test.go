@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -16,13 +18,16 @@ import (
 
 	"locality/internal/harness"
 	"locality/internal/jobs"
+	"locality/internal/obs"
 )
 
 // testServer wraps a handler-level instance for white-box endpoint tests.
 func testServer(t *testing.T, opts jobs.Options) (*server, *httptest.Server) {
 	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
 	pool := jobs.New(opts)
-	s := newServer(pool, 64, 10*time.Second)
+	s := newServer(pool, 64, 10*time.Second, reg)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -196,7 +201,7 @@ func TestQueueFullShed429(t *testing.T) {
 // with 503 instead of queueing them invisibly.
 func TestConcurrencyLimit(t *testing.T) {
 	pool := jobs.New(jobs.Options{Workers: 1})
-	s := newServer(pool, 1, time.Second)
+	s := newServer(pool, 1, time.Second, obs.NewRegistry())
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	defer func() {
@@ -287,7 +292,7 @@ func TestSIGTERMDrain(t *testing.T) {
 			time.Sleep(30 * time.Millisecond)
 		}}
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, opts, 150*time.Millisecond, 5*time.Second, 64) }()
+	go func() { done <- serve(ln, opts, 150*time.Millisecond, 5*time.Second, 64, "") }()
 
 	waitHTTP(t, base+"/healthz", http.StatusOK, 10*time.Second)
 	resp := submit(t, base, `{"experiment":"E12","quick":true,"seed":5}`)
@@ -336,4 +341,111 @@ func waitHTTP(t *testing.T, url string, want int, timeout time.Duration) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("%s never answered %d (last: %s)", url, want, last)
+}
+
+// TestMetricsEndpoint: after a served job, /metrics exposes the shared
+// registry in Prometheus text format — jobs-pool families and the HTTP
+// request histogram both appear, so one scrape covers the whole daemon.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, jobs.Options{Workers: 1})
+	resp := submit(t, ts.URL, `{"experiment":"E8","quick":true,"seed":7}`)
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	decode(t, resp, &accepted)
+	pollJob(t, ts.URL, accepted.ID)
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mr.StatusCode)
+	}
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus 0.0.4 text format", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mr.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"locality_jobs_submitted_total 1",
+		`locality_jobs_completed_total{state="succeeded"} 1`,
+		"# TYPE locality_http_request_seconds histogram",
+		`locality_http_requests_total{route="submit",code="202"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestJobReportArtifact: with ReportDir set, each job leaves a
+// <id>.report.jsonl run report whose first record is the meta line.
+func TestJobReportArtifact(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, jobs.Options{Workers: 1, ReportDir: dir})
+	resp := submit(t, ts.URL, `{"experiment":"E2","quick":true,"seed":7}`)
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	decode(t, resp, &accepted)
+	j := pollJob(t, ts.URL, accepted.ID)
+	if j.State != jobs.StateSucceeded {
+		t.Fatalf("job state %s, error %q", j.State, j.Error)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, accepted.ID+".report.jsonl"))
+	if err != nil {
+		t.Fatalf("run report artifact: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("report has %d lines, want >= 3 (meta, records, summary)", len(lines))
+	}
+	var meta map[string]any
+	if err := json.Unmarshal(lines[0], &meta); err != nil {
+		t.Fatalf("meta line: %v", err)
+	}
+	if meta["type"] != "meta" || meta["experiment"] != "E2" || meta["schema"] != obs.ReportSchema {
+		t.Errorf("meta record = %v", meta)
+	}
+	var sum map[string]any
+	if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil {
+		t.Fatalf("summary line: %v", err)
+	}
+	if sum["type"] != "summary" || sum["total_batches"] == float64(0) {
+		t.Errorf("summary record = %v", sum)
+	}
+}
+
+// TestPprofOptIn: the profiling mux answers only when explicitly enabled —
+// the main handler never routes /debug/pprof/.
+func TestPprofOptIn(t *testing.T) {
+	_, ts := testServer(t, jobs.Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("main handler serves /debug/pprof/; profiling must be opt-in via -pprof-addr")
+	}
+
+	ps := httptest.NewServer(pprofHandler())
+	defer ps.Close()
+	pr, err := http.Get(ps.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d, want 200", pr.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(pr.Body)
+	if !strings.Contains(buf.String(), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", buf.String())
+	}
 }

@@ -8,6 +8,7 @@
 //	nomapiter    map iteration order must not reach messages or outputs
 //	errsentinel  kernel failures matched with errors.Is, never error text
 //	phasedisc    Machine receiver/Env.Node shape discipline
+//	obsinert     hot paths never consume observability results
 //
 // Usage:
 //
@@ -51,9 +52,16 @@ func main() {
 //     read the clock: waitAttempt is the backoff wait between retry
 //     attempts. The backoff *schedule* is pure seeded arithmetic; the wait
 //     itself is the file's single sanctioned timer.
+//   - internal/obs/clock.go (and only that file of the obs package) may
+//     read the clock: run-report timing is wall-clock telemetry by design,
+//     and confining the reads to one file keeps the rest of the package —
+//     the metric types the hot paths' hooks feed — provably clock-free.
 //   - internal/fault machines may observe Env.Node: the fault shim maps
 //     itself to a host vertex to look up its entry in the fault plan —
 //     instrumentation by design, documented in fault.go.
+//   - internal/sim and internal/harness are the obsinert hot paths: calls
+//     into internal/obs there must be fire-and-forget statements, so
+//     telemetry can never influence a run (DESIGN.md §9).
 func contractAnalyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		analysis.NewNoRawRand(analysis.NoRawRandOptions{}),
@@ -64,12 +72,22 @@ func contractAnalyzers() []*analysis.Analyzer {
 				"locality/cmd/localityd",
 				"locality/cmd/localbench",
 			},
-			AllowFiles: []string{"internal/harness/retry.go"},
+			AllowFiles: []string{
+				"internal/harness/retry.go",
+				"internal/obs/clock.go",
+			},
 		}),
 		analysis.NewNoMapIter(analysis.NoMapIterOptions{}),
 		analysis.NewErrSentinel(analysis.ErrSentinelOptions{}),
 		analysis.NewPhaseDisc(analysis.PhaseDiscOptions{
 			AllowNodePackages: []string{"locality/internal/fault"},
+		}),
+		analysis.NewObsInert(analysis.ObsInertOptions{
+			ObsPackages: []string{"locality/internal/obs"},
+			HotPackages: []string{
+				"locality/internal/sim",
+				"locality/internal/harness",
+			},
 		}),
 	}
 }

@@ -1,0 +1,98 @@
+package analysis
+
+import "go/ast"
+
+// ObsInertOptions configures the obsinert analyzer.
+type ObsInertOptions struct {
+	// ObsPackages are the observability import paths whose calls are
+	// audited (the repository gate uses locality/internal/obs).
+	ObsPackages []string
+	// HotPackages are the import paths the rule applies to — the simulator
+	// and harness hot paths, where telemetry must be provably inert.
+	// Packages not listed here (the supervision layer, commands) may read
+	// metric values freely.
+	HotPackages []string
+}
+
+// NewObsInert returns the obsinert analyzer: in hot-path packages, every
+// call into an observability package must be fire-and-forget — a bare
+// expression statement (or defer/go statement), never a value feeding an
+// assignment, condition, argument or return. The observability contract
+// (DESIGN.md §9) promises that telemetry observes and never influences a
+// run; a hot-path branch on a counter value is exactly the regression that
+// breaks the byte-identity and engine-equivalence guarantees, and it is
+// cheaper to ban the shape than to re-prove inertness per change. Chained
+// fire-and-forget calls (reg.Counter(...).Inc()) are statement position all
+// the way down, so the idiom stays available; test files are exempt (they
+// legitimately assert on metric values).
+func NewObsInert(opt ObsInertOptions) *Analyzer {
+	obsPkgs := make(map[string]bool, len(opt.ObsPackages))
+	for _, p := range opt.ObsPackages {
+		obsPkgs[p] = true
+	}
+	a := &Analyzer{
+		Name: "obsinert",
+		Doc: "forbid hot-path code from consuming observability results: obs calls in " +
+			"sim/harness must be fire-and-forget statements, so telemetry can never " +
+			"influence a run",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgAllowed(pass, opt.HotPackages) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			// First pass: collect the calls in statement position. A
+			// statement call blesses its whole method chain — the inner
+			// calls of reg.Counter(...).Inc() produce values, but those
+			// values go nowhere except the final fire-and-forget call.
+			stmtCalls := make(map[*ast.CallExpr]bool)
+			bless := func(c *ast.CallExpr) {
+				for c != nil {
+					stmtCalls[c] = true
+					sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					c = inner
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if c, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+						bless(c)
+					}
+				case *ast.DeferStmt:
+					bless(s.Call)
+				case *ast.GoStmt:
+					bless(s.Call)
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || !obsPkgs[fn.Pkg().Path()] {
+					return true
+				}
+				if stmtCalls[call] || pass.InTestFile(call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "result of %s.%s consumed in hot-path code: "+
+					"observability calls must be fire-and-forget statements "+
+					"(telemetry observes, never influences — DESIGN.md §9)",
+					fn.Pkg().Name(), fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"locality/internal/analysis"
+	"locality/internal/analysis/analysistest"
+)
+
+func TestObsInert(t *testing.T) {
+	a := analysis.NewObsInert(analysis.ObsInertOptions{
+		ObsPackages: []string{"obsfake"},
+		HotPackages: []string{"obsinert"},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "obsinert")
+}
+
+func TestObsInertColdPackage(t *testing.T) {
+	// The same consuming shapes are clean in a package off the hot-path
+	// list: the rule binds sim/harness, not the supervision layer.
+	a := analysis.NewObsInert(analysis.ObsInertOptions{
+		ObsPackages: []string{"obsfake"},
+		HotPackages: []string{"obsinert"},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "obscold")
+}

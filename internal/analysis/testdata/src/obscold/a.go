@@ -1,0 +1,16 @@
+// Package obscold replays the consuming shapes of the obsinert fixture in a
+// package that is NOT on the hot-path list: nothing is flagged, because the
+// rule binds only sim/harness — supervision layers read metric values
+// legitimately.
+package obscold
+
+import "obsfake"
+
+func consumed() int {
+	if obsfake.Value() > 0 {
+		return 1
+	}
+	c := obsfake.New()
+	c.Add(1)
+	return int(c.Get())
+}

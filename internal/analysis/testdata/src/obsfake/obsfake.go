@@ -1,0 +1,22 @@
+// Package obsfake is the analysistest stand-in for an observability
+// package: a handle-producing constructor, fire-and-forget mutators, and
+// value readers, mirroring the shapes of internal/obs.
+package obsfake
+
+// Counter is a fake metric handle.
+type Counter struct{ v int64 }
+
+// Add is fire-and-forget.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Get reads the value (consuming it in hot-path code is the violation).
+func (c *Counter) Get() int64 { return c.v }
+
+// New produces a handle.
+func New() *Counter { return &Counter{} }
+
+// Count is a package-level fire-and-forget call.
+func Count() {}
+
+// Value is a package-level reader.
+func Value() int { return 0 }

@@ -1,0 +1,33 @@
+// Package obsinert fixtures: observability calls in a hot-path package must
+// be fire-and-forget statements; any shape that consumes their result is
+// flagged.
+package obsinert
+
+import "obsfake"
+
+// fireAndForget shows every accepted shape: bare statements, defer/go
+// statements, and chained statement calls whose intermediate values exist
+// only to reach the final mutator.
+func fireAndForget() {
+	obsfake.Count()
+	defer obsfake.Count()
+	go obsfake.Count()
+	obsfake.New().Add(1)
+}
+
+// consumed shows the flagged shapes: an obs result feeding a condition,
+// an assignment, a loop bound, or another call's argument.
+func consumed(n int) int {
+	if obsfake.Value() > 0 { // want `result of obsfake\.Value consumed in hot-path code`
+		return 1
+	}
+	v := obsfake.Value() // want `result of obsfake\.Value consumed in hot-path code`
+	for i := 0; i < obsfake.Value(); i++ { // want `result of obsfake\.Value consumed in hot-path code`
+		v += i
+	}
+	c := obsfake.New() // want `result of obsfake\.New consumed in hot-path code`
+	_ = c.Get()        // want `result of obsfake\.Get consumed in hot-path code`
+	return v + sink(obsfake.Value()) // want `result of obsfake\.Value consumed in hot-path code`
+}
+
+func sink(v int) int { return v }

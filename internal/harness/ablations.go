@@ -73,7 +73,7 @@ func E13Indistinguishability(cfg Config) *Table {
 		}
 		cfg.Row(t, func(t *Table) {
 			tRounds := (minGirth - 2) / 2 // 2t+1 < g
-			res, err := sim.Run(ecg.Graph, sim.Config{IDs: ids.Sequential(ecg.N())},
+			res, err := sim.Run(ecg.Graph, cfg.sim(t, sim.Config{IDs: ids.Sequential(ecg.N())}),
 				view.NewCollectMachineFactory(tRounds, nil))
 			if err != nil {
 				panic(fmt.Sprintf("harness: E13 collection: %v", err))
@@ -131,7 +131,7 @@ func A1KWvsSweep(cfg Config) *Table {
 			var rounds [2]int
 			for i, kw := range []bool{false, true} {
 				opt := linial.Options{InitialPalette: n, Delta: dd, Target: dd + 1, KW: kw}
-				res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, linial.NewFactory(opt))
+				res, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: assignment, MaxRounds: 1 << 22}), linial.NewFactory(opt))
 				if err != nil {
 					panic(fmt.Sprintf("harness: A1 run: %v", err))
 				}
@@ -173,7 +173,7 @@ func A2PeelThreshold(cfg Config) *Table {
 		cfg.Row(t, func(t *Table) {
 			opt := forest.Options{Q: 12, A: a}
 			plan := forest.NewPlan(opt.Resolve(n))
-			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22}, forest.NewFactory(opt))
+			res, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: assignment, MaxRounds: 1 << 22}), forest.NewFactory(opt))
 			if err != nil {
 				panic(fmt.Sprintf("harness: A2 run: %v", err))
 			}
@@ -205,7 +205,7 @@ func A3SizeBound(cfg Config) *Table {
 	logn := mathx.CeilLog2(n + 1)
 	for _, bound := range []int{3, 2 * logn, 8 * logn, 32 * logn} {
 		cfg.Row(t, func(t *Table) {
-			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bound), MaxRounds: 1 << 22},
+			res, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bound), MaxRounds: 1 << 22}),
 				core.NewT11Factory(core.T11Options{Delta: 4, SizeBound: bound}))
 			if err != nil {
 				panic(fmt.Sprintf("harness: A3 run: %v", err))

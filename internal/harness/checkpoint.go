@@ -132,6 +132,7 @@ func (e *SweepError) Unwrap() []error { return []error{ErrSweepInterrupted, e.Ca
 type sweepState struct {
 	ctx     context.Context
 	onBatch func(*Checkpoint)
+	obs     Observer
 	ck      *Checkpoint
 	next      int // index of the next batch to replay, record, or enqueue
 	committed int // batches committed to the table (== next when inline)
@@ -149,6 +150,7 @@ func (t *Table) sweepInit(c Config) *sweepState {
 	s := &sweepState{
 		ctx:     c.Ctx,
 		onBatch: c.OnBatch,
+		obs:     c.Obs,
 		ck:      &Checkpoint{Experiment: t.ID, Seed: c.Seed, Quick: c.Quick},
 	}
 	if c.Resume.Compatible(t.ID, c) {
@@ -233,6 +235,9 @@ func (s *sweepState) commitBatch(t *Table, rows [][]string, recorded [][]string)
 	s.committed++
 	if s.onBatch != nil {
 		s.onBatch(s.ck)
+	}
+	if s.obs != nil {
+		s.obs.BatchDone(t.ID, s.committed, len(recorded))
 	}
 }
 

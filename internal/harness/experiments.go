@@ -95,13 +95,13 @@ func E1Separation(cfg Config) *Table {
 		g := graph.RandomTree(n, delta, r)
 		assignment := ids.Shuffled(n, r)
 		cfg.Row(t, func(t *Table) {
-			randRes, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n), MaxRounds: 1 << 22},
+			randRes, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n), MaxRounds: 1 << 22}),
 				core.NewT11Factory(core.T11Options{Delta: delta}))
 			if err != nil {
 				panic(fmt.Sprintf("harness: E1 rand run: %v", err))
 			}
 			randColors := core.Colors(randRes.Outputs)
-			detRes, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22},
+			detRes, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: assignment, MaxRounds: 1 << 22}),
 				forest.NewFactory(forest.Options{Q: delta}))
 			if err != nil {
 				panic(fmt.Sprintf("harness: E1 det run: %v", err))
@@ -147,7 +147,7 @@ func E2DeltaScaling(cfg Config) *Table {
 		g := graph.RandomTree(n, delta, r)
 		cfg.Row(t, func(t *Table) {
 			opt := core.T10Options{Delta: delta}
-			res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(delta), MaxRounds: 1 << 22},
+			res, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(delta), MaxRounds: 1 << 22}),
 				core.NewT10Factory(opt))
 			if err != nil {
 				panic(fmt.Sprintf("harness: E2 run: %v", err))
@@ -195,7 +195,7 @@ func E3Shattering(cfg Config) *Table {
 			cfg.Row(t, func(t *Table) {
 				totalBad, maxComp, comps := 0, 0, 0
 				for s := 0; s < seeds; s++ {
-					res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+s), MaxRounds: 1 << 22},
+					res, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+s), MaxRounds: 1 << 22}),
 						core.NewT10Factory(core.T10Options{Delta: 36, PaletteSlack: slack}))
 					if err != nil {
 						panic(fmt.Sprintf("harness: E3 T10 run: %v", err))
@@ -220,7 +220,7 @@ func E3Shattering(cfg Config) *Table {
 		cfg.Row(t, func(t *Table) {
 			totalS, maxS, compS := 0, 0, 0
 			for s := 0; s < seeds; s++ {
-				res2, err := sim.Run(g2, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+7*s) + 7, MaxRounds: 1 << 22},
+				res2, err := sim.Run(g2, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n+7*s) + 7, MaxRounds: 1 << 22}),
 					core.NewT11Factory(core.T11Options{Delta: 4}))
 				if err != nil {
 					panic(fmt.Sprintf("harness: E3 T11 run: %v", err))
@@ -272,7 +272,7 @@ func E4ZeroRound(cfg Config) *Table {
 			// run on different workers) from sharing scratch.
 			arena := &sim.Arena{}
 			for i := 0; i < trials; i++ {
-				res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs, Arena: arena},
+				res, err := sim.Run(ecg.Graph, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(i), Inputs: inputs, Arena: arena}),
 					sinkless.NewZeroRoundFactory(sinkless.Uniform(delta)))
 				if err != nil {
 					panic(fmt.Sprintf("harness: E4 run: %v", err))
@@ -317,7 +317,7 @@ func E5RandFromDet(cfg Config) *Table {
 			fails := 0
 			arena := &sim.Arena{}
 			for i := 0; i < trials; i++ {
-				res, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22, Arena: arena}, factory)
+				res, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(bits*1000+i), MaxRounds: 1 << 22, Arena: arena}), factory)
 				if err != nil {
 					panic(fmt.Sprintf("harness: E5 run: %v", err))
 				}
@@ -357,7 +357,7 @@ func E6Speedup(cfg Config) *Table {
 		cfg.Row(t, func(t *Table) {
 			bits := mathx.CeilLog2(n + 1)
 			plan := speedup.NewTheorem6Plan(tBound, delta, bits, 1)
-			res, err := sim.Run(g, sim.Config{IDs: assignment, MaxRounds: 1 << 22},
+			res, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: assignment, MaxRounds: 1 << 22}),
 				speedup.NewTheorem6Factory(plan, bits, mk(plan.BitsOut)))
 			if err != nil {
 				panic(fmt.Sprintf("harness: E6 run: %v", err))
@@ -401,7 +401,7 @@ func E7Dichotomy(cfg Config) *Table {
 		twoIDs := ids.Shuffled(n, r)
 		threeIDs := ids.Shuffled(n, r)
 		cfg.Row(t, func(t *Table) {
-			res2, err := sim.Run(g, sim.Config{IDs: twoIDs}, ringcolor.NewTwoColorFactory())
+			res2, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: twoIDs}), ringcolor.NewTwoColorFactory())
 			if err != nil {
 				panic(fmt.Sprintf("harness: E7 2-color: %v", err))
 			}
@@ -410,7 +410,7 @@ func E7Dichotomy(cfg Config) *Table {
 				panic(err)
 			}
 			bits := mathx.CeilLog2(n + 1)
-			res3, err := sim.Run(g, sim.Config{IDs: threeIDs, Inputs: inputs},
+			res3, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: threeIDs, Inputs: inputs}),
 				ringcolor.NewColeVishkinFactory(bits))
 			if err != nil {
 				panic(fmt.Sprintf("harness: E7 3-color: %v", err))
@@ -509,7 +509,7 @@ func E9Linial(cfg Config) *Table {
 			// Measured run at simulable sizes.
 			rounds := len(sched)
 			if g != nil {
-				res, err := sim.Run(g, sim.Config{IDs: assignment},
+				res, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: assignment}),
 					linial.NewFactory(linial.Options{InitialPalette: n, Delta: delta}))
 				if err != nil {
 					panic(fmt.Sprintf("harness: E9 run: %v", err))
@@ -545,22 +545,22 @@ func E10MISMatching(cfg Config) *Table {
 		matchIDs := ids.Shuffled(n, r)
 		cfg.Row(t, func(t *Table) {
 			valid := true
-			luby, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n)},
+			luby, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n)}),
 				mis.NewLubyFactory(mis.LubyOptions{}))
 			if err != nil {
 				panic(err)
 			}
-			det, err := sim.Run(g, sim.Config{IDs: detIDs, MaxRounds: 1 << 22},
+			det, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: detIDs, MaxRounds: 1 << 22}),
 				mis.NewDetFactory(mis.DetOptions{}))
 			if err != nil {
 				panic(err)
 			}
-			rmatch, err := sim.Run(g, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n) + 1},
+			rmatch, err := sim.Run(g, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(n) + 1}),
 				matching.NewRandFactory(matching.RandOptions{}))
 			if err != nil {
 				panic(err)
 			}
-			dmatch, err := sim.Run(g, sim.Config{IDs: matchIDs, MaxRounds: 1 << 22},
+			dmatch, err := sim.Run(g, cfg.sim(t, sim.Config{IDs: matchIDs, MaxRounds: 1 << 22}),
 				matching.NewDetFactory(matching.DetOptions{}))
 			if err != nil {
 				panic(err)
@@ -611,7 +611,7 @@ func E11Sinkless(cfg Config) *Table {
 		cfg.Row(t, func(t *Table) {
 			inst := lcl.Instance{G: ecg.Graph, EdgeColors: ecg.Colors, NumEdgeColors: d}
 			inputs := inst.NodeInputs()
-			res, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half), Inputs: inputs},
+			res, err := sim.Run(ecg.Graph, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half), Inputs: inputs}),
 				sinkless.NewOrientFactory(sinkless.OrientOptions{}))
 			if err != nil {
 				panic(err)
@@ -626,7 +626,7 @@ func E11Sinkless(cfg Config) *Table {
 					worst = s
 				}
 			}
-			cRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 3, Inputs: inputs},
+			cRes, err := sim.Run(ecg.Graph, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 3, Inputs: inputs}),
 				sinkless.NewColoringFromOrientationFactory(sinkless.NewOrientFactory(sinkless.OrientOptions{})))
 			if err != nil {
 				panic(err)
@@ -635,7 +635,7 @@ func E11Sinkless(cfg Config) *Table {
 			if lcl.SinklessColoring(d).Validate(inst, lcl.IntLabels(sim.IntOutputs(cRes))) != nil {
 				colorOK = "NO"
 			}
-			oRes, err := sim.Run(ecg.Graph, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 5, Inputs: inputs},
+			oRes, err := sim.Run(ecg.Graph, cfg.sim(t, sim.Config{Randomized: true, Seed: cfg.Seed + uint64(half) + 5, Inputs: inputs}),
 				sinkless.NewOrientFromColoringFactory(sinkless.NewColoringFromOrientationFactory(
 					sinkless.NewOrientFactory(sinkless.OrientOptions{}))))
 			if err != nil {

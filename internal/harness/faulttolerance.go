@@ -35,14 +35,16 @@ type ftAttempt struct {
 	report lcl.Report
 }
 
-// ftRun executes one seeded attempt of a case under a plan.
-func ftRun(c ftCase, plan fault.Plan, runSeed uint64) ftAttempt {
-	cfg := sim.Config{
+// ftRun executes one seeded attempt of a case under a plan. The harness
+// Config and table are threaded through so the run feeds the sweep's
+// Observer like every other driver (hc.sim is a no-op without one).
+func ftRun(hc Config, t *Table, c ftCase, plan fault.Plan, runSeed uint64) ftAttempt {
+	cfg := hc.sim(t, sim.Config{
 		Randomized: true,
 		Seed:       runSeed,
 		Inputs:     c.inst.NodeInputs(),
 		MaxRounds:  1 << 22,
-	}
+	})
 	res, err := sim.Run(c.inst.G, cfg, plan.Wrap(c.inst.G, c.factory))
 	if err != nil {
 		return ftAttempt{runErr: err}
@@ -167,7 +169,7 @@ func E12FaultTolerance(cfg Config) *Table {
 					coord := uint64(ci)<<16 | uint64(pi)<<8 | uint64(attempt)
 					p := plan
 					p.Seed = rng.Mix64(cfg.Seed, coord)
-					a := ftRun(c, p, rng.Mix64(cfg.Seed+1, coord))
+					a := ftRun(cfg, t, c, p, rng.Mix64(cfg.Seed+1, coord))
 					if attempt == 0 {
 						first = a
 					}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"locality/internal/sim"
+)
+
+// recordingObserver is a concurrency-safe Observer capturing what the sweep
+// reported: the differential tests below assert telemetry is additive only.
+type recordingObserver struct {
+	mu      sync.Mutex
+	rounds  int
+	msgs    int64
+	batches []int // rows per BatchDone, in commit order
+	exps    map[string]bool
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{exps: make(map[string]bool)}
+}
+
+func (o *recordingObserver) SimRound(experiment string, s sim.RoundStats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rounds++
+	o.msgs += s.Messages
+	o.exps[experiment] = true
+}
+
+func (o *recordingObserver) BatchDone(experiment string, batches, rowsInBatch int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.batches = append(o.batches, rowsInBatch)
+	o.exps[experiment] = true
+}
+
+// TestObserverByteIdentity is the observability contract's harness half:
+// with a recording observer attached — sequentially and with parallel
+// workers — every rendering and the final checkpoint are byte-identical to
+// the unobserved sweep, while the observer actually received the sweep's
+// telemetry. E8 is the control: a derandomization-only driver with no
+// simulator runs must report batches but no rounds.
+func TestObserverByteIdentity(t *testing.T) {
+	for _, id := range []string{"E2", "E4", "E8", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			driver := lookupDriver(t, id)
+			base := Config{Quick: true, Seed: 7}
+			baseline := renderAll(driver(base))
+			var baseCk []byte
+			baseBatches := 0
+			{
+				cfg := base
+				cfg.OnBatch = func(ck *Checkpoint) {
+					baseBatches++
+					enc, err := ck.Encode()
+					if err != nil {
+						t.Fatalf("encode baseline checkpoint: %v", err)
+					}
+					baseCk = enc
+				}
+				driver(cfg)
+			}
+
+			for _, workers := range []int{1, 4} {
+				obs := newRecordingObserver()
+				var lastCk []byte
+				cfg := base
+				cfg.Workers = workers
+				cfg.Obs = obs
+				cfg.OnBatch = func(ck *Checkpoint) {
+					enc, err := ck.Encode()
+					if err != nil {
+						t.Fatalf("workers=%d: encode checkpoint: %v", workers, err)
+					}
+					lastCk = enc
+				}
+				got := renderAll(driver(cfg))
+				if !bytes.Equal(got, baseline) {
+					t.Errorf("workers=%d: observed sweep renders differently from unobserved run", workers)
+				}
+				if !bytes.Equal(lastCk, baseCk) {
+					t.Errorf("workers=%d: observed sweep's checkpoint differs from unobserved run", workers)
+				}
+				if len(obs.batches) != baseBatches {
+					t.Errorf("workers=%d: observer saw %d batches, want %d", workers, len(obs.batches), baseBatches)
+				}
+				if !obs.exps[id] {
+					t.Errorf("workers=%d: observer never saw experiment %s", workers, id)
+				}
+				if id == "E8" {
+					if obs.rounds != 0 {
+						t.Errorf("workers=%d: E8 runs no simulator but reported %d rounds", workers, obs.rounds)
+					}
+				} else if obs.rounds == 0 {
+					// E4's machines are 0-round deciders, so messages may
+					// legitimately be zero; rounds must not be.
+					t.Errorf("workers=%d: observer saw no simulator rounds", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestObserverKillAndResume: telemetry stays inert across the
+// checkpoint/resume path — an observed parallel sweep killed mid-run and
+// resumed (observed again) reproduces the uninterrupted bytes, and replayed
+// batches fire no BatchDone (telemetry mirrors OnBatch: fresh commits only).
+func TestObserverKillAndResume(t *testing.T) {
+	for _, id := range []string{"E2", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			driver := lookupDriver(t, id)
+			base := Config{Quick: true, Seed: 7}
+			baseline := renderTable(driver(base))
+			total := countBatches(driver, base)
+			if total < 2 {
+				t.Fatalf("%s records %d batches; need >= 2 to interrupt", id, total)
+			}
+			kill := total / 2
+
+			ctx, cancel := context.WithCancel(context.Background())
+			var saved *Checkpoint
+			cfg := base
+			cfg.Workers = 4
+			cfg.Ctx = ctx
+			cfg.Obs = newRecordingObserver()
+			cfg.OnBatch = func(ck *Checkpoint) {
+				saved = ck.Clone()
+				if len(saved.Batches) >= kill {
+					cancel()
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r == nil {
+						t.Fatalf("observed parallel sweep finished despite cancellation")
+					}
+				}()
+				driver(cfg)
+			}()
+			if saved == nil || len(saved.Batches) != kill {
+				t.Fatalf("checkpoint holds %d batches, want %d", len(saved.Batches), kill)
+			}
+
+			obs := newRecordingObserver()
+			resumeCfg := base
+			resumeCfg.Workers = 2
+			resumeCfg.Resume = saved
+			resumeCfg.Obs = obs
+			resumed := renderTable(driver(resumeCfg))
+			if !bytes.Equal(resumed, baseline) {
+				t.Errorf("observed resume differs from uninterrupted run")
+			}
+			if len(obs.batches) != total-kill {
+				t.Errorf("resume observer saw %d batches, want %d (replays are silent)",
+					len(obs.batches), total-kill)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 	"unicode/utf8"
@@ -44,9 +45,9 @@ func formatRow(cells []any) []string {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
+			row[i] = formatFloat(v)
 		case float32:
-			row[i] = fmt.Sprintf("%.4g", float64(v))
+			row[i] = formatFloat(float64(v))
 		case time.Duration:
 			row[i] = formatDuration(v)
 		default:
@@ -54,6 +55,22 @@ func formatRow(cells []any) []string {
 		}
 	}
 	return row
+}
+
+// formatFloat renders a float cell at 4 significant digits, spelling out the
+// non-finite values explicitly: %g would render them as NaN/+Inf/-Inf anyway,
+// but routing them through a precision-limited verb invites accidental
+// reformatting — the explicit cases pin the table (and golden-file) encoding.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%.4g", v)
 }
 
 // formatDuration rounds a duration to 4 significant digits so cells like
@@ -198,6 +215,11 @@ type Config struct {
 	// by the sweep and mutated as it progresses: persist synchronously or
 	// Clone. Replayed batches do not re-fire it.
 	OnBatch func(*Checkpoint)
+	// Obs, when non-nil, receives the sweep's telemetry (per-round simulator
+	// stats, per-batch commit progress). Like OnBatch it observes — never
+	// influences — the sweep: tables, checkpoints and OnBatch sequences are
+	// byte-identical with or without it (see observe.go).
+	Obs Observer
 }
 
 // sizes picks an n-sweep.

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/csv"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -106,5 +107,61 @@ func TestAddRowFormatting(t *testing.T) {
 	}
 	if !reflect.DeepEqual(tbl.Rows, want) {
 		t.Errorf("AddRow formatting mismatch\n--- want ---\n%q\n--- got ---\n%q", want, tbl.Rows)
+	}
+}
+
+// TestNonFiniteFormatting pins the explicit NaN/±Inf spellings: a divide-by-
+// zero ratio or an empty-sample mean must render as a readable sentinel, not
+// as whatever %.4g emits, in all three renderers.
+func TestNonFiniteFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:      "T1",
+		Title:   "non-finite cells",
+		Claim:   "NaN and infinities render as explicit sentinels",
+		Columns: []string{"f64", "f32", "finite"},
+	}
+	tbl.AddRow(math.NaN(), float32(math.NaN()), 0.5)
+	tbl.AddRow(math.Inf(1), float32(math.Inf(1)), 1.0)
+	tbl.AddRow(math.Inf(-1), float32(math.Inf(-1)), 2.0)
+	wantRows := [][]string{
+		{"NaN", "NaN", "0.5"},
+		{"+Inf", "+Inf", "1"},
+		{"-Inf", "-Inf", "2"},
+	}
+	if !reflect.DeepEqual(tbl.Rows, wantRows) {
+		t.Fatalf("non-finite formatting mismatch\n--- want ---\n%q\n--- got ---\n%q", wantRows, tbl.Rows)
+	}
+
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	want := "== T1: non-finite cells ==\n" +
+		"claim: NaN and infinities render as explicit sentinels\n" +
+		"  f64   f32   finite\n" +
+		"  ----  ----  ------\n" +
+		"  NaN   NaN   0.5   \n" +
+		"  +Inf  +Inf  1     \n" +
+		"  -Inf  -Inf  2     \n\n"
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch\n--- want ---\n%q\n--- got ---\n%q", want, got)
+	}
+
+	buf.Reset()
+	tbl.CSV(&buf)
+	wantCSV := "f64,f32,finite\nNaN,NaN,0.5\n+Inf,+Inf,1\n-Inf,-Inf,2\n"
+	if got := buf.String(); got != wantCSV {
+		t.Errorf("CSV mismatch\n--- want ---\n%q\n--- got ---\n%q", wantCSV, got)
+	}
+
+	buf.Reset()
+	tbl.Markdown(&buf)
+	wantMD := "### T1 — non-finite cells\n\n" +
+		"*Claim:* NaN and infinities render as explicit sentinels\n\n" +
+		"| f64 | f32 | finite |\n" +
+		"| --- | --- | --- |\n" +
+		"| NaN | NaN | 0.5 |\n" +
+		"| +Inf | +Inf | 1 |\n" +
+		"| -Inf | -Inf | 2 |\n\n"
+	if got := buf.String(); got != wantMD {
+		t.Errorf("Markdown mismatch\n--- want ---\n%q\n--- got ---\n%q", wantMD, got)
 	}
 }

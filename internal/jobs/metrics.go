@@ -1,0 +1,87 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+
+	"locality/internal/harness"
+	"locality/internal/obs"
+)
+
+// poolMetrics is the pool's instrumentation surface. Every field is resolved
+// once at pool construction; with Options.Metrics nil all fields are nil and
+// every method call below is a no-op (obs metrics are nil-receiver safe), so
+// an uninstrumented pool pays nothing.
+type poolMetrics struct {
+	submitted   *obs.Counter
+	shedFull    *obs.Counter
+	shedDrain   *obs.Counter
+	shedUnknown *obs.Counter
+	succeeded   *obs.Counter
+	failed      *obs.Counter
+	cancelled   *obs.Counter
+	retries     *obs.Counter
+	panics      *obs.Counter
+	batches     *obs.Counter
+	queueDepth  *obs.Gauge
+	running     *obs.Gauge
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	const (
+		shedName = "locality_jobs_shed_total"
+		shedHelp = "Submissions shed before enqueue, by reason."
+		doneName = "locality_jobs_completed_total"
+		doneHelp = "Jobs reaching a terminal state, by state."
+	)
+	return poolMetrics{
+		submitted:   reg.Counter("locality_jobs_submitted_total", "Jobs accepted into the queue."),
+		shedFull:    reg.Counter(shedName, shedHelp, "reason", "queue_full"),
+		shedDrain:   reg.Counter(shedName, shedHelp, "reason", "draining"),
+		shedUnknown: reg.Counter(shedName, shedHelp, "reason", "unknown_experiment"),
+		succeeded:   reg.Counter(doneName, doneHelp, "state", "succeeded"),
+		failed:      reg.Counter(doneName, doneHelp, "state", "failed"),
+		cancelled:   reg.Counter(doneName, doneHelp, "state", "cancelled"),
+		retries:     reg.Counter("locality_jobs_retries_total", "Job attempts beyond each job's first."),
+		panics:      reg.Counter("locality_jobs_panics_total", "Experiment panics recovered into job errors."),
+		batches:     reg.Counter("locality_jobs_batches_total", "Freshly computed row batches across all jobs."),
+		queueDepth:  reg.Gauge("locality_jobs_queue_depth", "Jobs waiting in the submission queue."),
+		running:     reg.Gauge("locality_jobs_running", "Jobs currently executing on a worker."),
+	}
+}
+
+// terminal counts a job's terminal state.
+func (m poolMetrics) terminal(s State) {
+	switch s {
+	case StateSucceeded:
+		m.succeeded.Inc()
+	case StateCancelled:
+		m.cancelled.Inc()
+	default:
+		m.failed.Inc()
+	}
+}
+
+// reportSink opens the job's run-report file under Options.ReportDir and
+// returns the sweep observer plus its closer. Telemetry must never fail a
+// job, so — like checkpoint persistence — filesystem errors are swallowed
+// and the job runs unobserved.
+func (p *Pool) reportSink(j *job) (harness.Observer, func()) {
+	if p.opts.ReportDir == "" {
+		return nil, func() {}
+	}
+	f, err := os.Create(filepath.Join(p.opts.ReportDir, j.id+".report.jsonl"))
+	if err != nil {
+		return nil, func() {}
+	}
+	rep := obs.NewRunReport(f, obs.ReportMeta{
+		Experiment: j.spec.Experiment,
+		Seed:       j.spec.Seed,
+		Quick:      j.spec.Quick,
+		Workers:    j.spec.Workers,
+	})
+	return rep, func() {
+		rep.Close()
+		f.Close()
+	}
+}

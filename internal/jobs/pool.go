@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"locality/internal/harness"
+	"locality/internal/obs"
 	"locality/internal/rng"
 )
 
@@ -40,6 +41,16 @@ type Options struct {
 	// assertions — and runs inside the job attempt, so a panic here is
 	// recovered like any experiment panic.
 	BatchHook func(id string, ck *harness.Checkpoint)
+	// Metrics, when non-nil, receives the pool's counters and gauges
+	// (submissions, sheds by reason, terminal states, retries, panics,
+	// batches, queue depth, running jobs). Nil disables instrumentation at
+	// zero cost.
+	Metrics *obs.Registry
+	// ReportDir, when non-empty, writes one JSONL run report per job
+	// (<id>.report.jsonl) capturing the sweep's round- and batch-level
+	// telemetry. Like checkpoint persistence, report I/O failures never fail
+	// a job.
+	ReportDir string
 }
 
 func (o Options) workers() int {
@@ -83,9 +94,10 @@ type job struct {
 // Pool is a supervised worker pool running experiment sweeps. Create with
 // New, submit with Submit, shut down with Close.
 type Pool struct {
-	opts  Options
-	store checkpointStore
-	queue chan *job
+	opts    Options
+	store   checkpointStore
+	metrics poolMetrics
+	queue   chan *job
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -103,6 +115,7 @@ func New(opts Options) *Pool {
 	p := &Pool{
 		opts:      opts,
 		store:     checkpointStore{dir: opts.CheckpointDir},
+		metrics:   newPoolMetrics(opts.Metrics),
 		queue:     make(chan *job, opts.queueDepth()),
 		baseCtx:   ctx,
 		cancelAll: cancel,
@@ -113,6 +126,7 @@ func New(opts Options) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.queue {
+				p.metrics.queueDepth.Set(int64(len(p.queue)))
 				p.runJob(j)
 			}
 		}()
@@ -130,9 +144,11 @@ func (p *Pool) Submit(spec Spec) (string, error) {
 		return "", &ShedError{Reason: reason, QueueLen: len(p.queue), QueueCap: cap(p.queue)}
 	}
 	if _, ok := lookup(spec.Experiment); !ok {
+		p.metrics.shedUnknown.Inc()
 		return shed(fmt.Errorf("%w %q", ErrUnknownExperiment, spec.Experiment))
 	}
 	if p.draining {
+		p.metrics.shedDrain.Inc()
 		return shed(ErrDraining)
 	}
 	ctx, cancel := context.WithCancel(p.baseCtx)
@@ -148,9 +164,12 @@ func (p *Pool) Submit(spec Spec) (string, error) {
 	case p.queue <- j:
 		p.nextNum++
 		p.jobs[j.id] = j
+		p.metrics.submitted.Inc()
+		p.metrics.queueDepth.Set(int64(len(p.queue)))
 		return j.id, nil
 	default:
 		cancel()
+		p.metrics.shedFull.Inc()
 		return shed(ErrQueueFull)
 	}
 }
@@ -265,6 +284,8 @@ func (p *Pool) runJob(j *job) {
 	}
 	j.state = StateRunning
 	p.mu.Unlock()
+	p.metrics.running.Inc()
+	defer p.metrics.running.Dec()
 
 	ctx := j.ctx
 	if j.spec.Timeout > 0 {
@@ -290,6 +311,9 @@ func (p *Pool) runJob(j *job) {
 	var table string
 	var permanent error
 	rr := harness.RetryContext(ctx, p.opts.retryBudget(), backoff, func(attempt int) error {
+		if attempt > 0 {
+			p.metrics.retries.Inc()
+		}
 		p.mu.Lock()
 		j.attempts = attempt + 1
 		p.mu.Unlock()
@@ -323,6 +347,7 @@ func (p *Pool) runJob(j *job) {
 		j.state = StateSucceeded
 		j.output = table
 		p.mu.Unlock()
+		p.metrics.terminal(StateSucceeded)
 		p.store.clear(j.spec)
 		return
 	}
@@ -338,6 +363,7 @@ func (p *Pool) finishLocked(j *job, err error) {
 	} else {
 		j.state = StateFailed
 	}
+	p.metrics.terminal(j.state)
 }
 
 // attempt runs the experiment driver once, under panic isolation: a
@@ -348,6 +374,7 @@ func (p *Pool) finishLocked(j *job, err error) {
 func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tbl *harness.Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			p.metrics.panics.Inc()
 			je := &JobError{ID: j.id, Experiment: j.spec.Experiment, Value: r, Stack: debug.Stack()}
 			if cause, ok := r.(error); ok {
 				je.Cause = cause
@@ -355,14 +382,18 @@ func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tb
 			err = je
 		}
 	}()
+	report, closeReport := p.reportSink(j)
+	defer closeReport()
 	driver, _ := lookup(j.spec.Experiment)
 	cfg := harness.Config{
+		Obs: report,
 		Quick:   j.spec.Quick,
 		Seed:    j.spec.Seed,
 		Workers: j.spec.Workers,
 		Ctx:     ctx,
 		Resume:  *ck,
 		OnBatch: func(c *harness.Checkpoint) {
+			p.metrics.batches.Inc()
 			snap := c.Clone()
 			*ck = snap
 			p.mu.Lock()

@@ -1,0 +1,17 @@
+package obs
+
+// This file is the observability layer's single sanctioned wall-clock
+// consumer, carved out of the localvet nowallclock ban (cmd/localvet
+// AllowFiles). Everything else in internal/obs handles time.Time and
+// time.Duration values produced here; no other file may read the clock.
+// The carve-out is safe because obs output (run reports, latency
+// histograms) is explicitly wall-clock telemetry and is never consulted by
+// model or harness code — the inertness contract of DESIGN.md §9.
+
+import "time"
+
+// now reads the wall clock.
+func now() time.Time { return time.Now() }
+
+// since measures elapsed wall-clock time from t.
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition format: sorted families, sorted
+// series, histogram cumulative buckets with _sum/_count. The byte-exact
+// golden is what lets a scrape config trust the output shape.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests by route.", "route", "list").Add(3)
+	r.Counter("app_requests_total", "Requests by route.", "route", "get").Inc()
+	r.Gauge("app_queue_depth", "Queued items.").Set(7)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2.5)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 3.05
+app_latency_seconds_count 3
+# HELP app_queue_depth Queued items.
+# TYPE app_queue_depth gauge
+app_queue_depth 7
+# HELP app_requests_total Requests by route.
+# TYPE app_requests_total counter
+app_requests_total{route="get"} 1
+app_requests_total{route="list"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePromDeterministic asserts two identical registries render
+// byte-identically regardless of registration interleaving.
+func TestWritePromDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "c "+name).Add(int64(len(name)))
+		}
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]string{"m_a", "m_b", "m_c"})
+	b := build([]string{"m_c", "m_a", "m_b"})
+	if a != b {
+		t.Errorf("registration order leaked into exposition:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestNilSafety: a nil registry and the nil metrics it yields are valid
+// no-ops — the "telemetry disabled" idiom must never panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter Value = %d, want 0", c.Value())
+	}
+	g := r.Gauge("g", "g")
+	g.Set(3)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Errorf("nil gauge Value = %d, want 0", g.Value())
+	}
+	h := r.Histogram("h", "h", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("nil histogram Count/Sum = %d/%g, want 0/0", h.Count(), h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry WriteProm = (%q, %v), want empty, nil", b.String(), err)
+	}
+}
+
+// TestCounterMonotonic: non-positive deltas are ignored.
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "m")
+	c.Add(2)
+	c.Add(0)
+	c.Add(-7)
+	if c.Value() != 2 {
+		t.Errorf("Value = %d, want 2", c.Value())
+	}
+}
+
+// TestIdentity: same (name, labels) returns the same series; conflicting
+// kind or help panics.
+func TestIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("id_total", "h", "k", "v")
+	b := r.Counter("id_total", "h", "k", "v")
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("id_total", "h", "k", "w"); c == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	mustPanic(t, "kind conflict", func() { r.Gauge("id_total", "h") })
+	mustPanic(t, "help conflict", func() { r.Counter("id_total", "other help") })
+	mustPanic(t, "odd labels", func() { r.Counter("odd_total", "h", "k") })
+	mustPanic(t, "non-increasing buckets", func() {
+		r.Histogram("hb", "h", []float64{1, 1})
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestConcurrent hammers one counter, gauge and histogram from many
+// goroutines; run under -race this is the data-race gate, and the final
+// values are exact because every update is atomic.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	g := r.Gauge("conc_gauge", "g")
+	h := r.Histogram("conc_seconds", "h", []float64{0.5})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if want := 0.25 * workers * per; h.Sum() != want {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"locality/internal/sim"
+)
+
+// ReportSchema versions the run-report JSONL layout.
+const ReportSchema = "locality-runreport/v1"
+
+// ReportMeta identifies the run a report describes. Environment provenance
+// (Go version, GOOS/GOARCH, GOMAXPROCS) is stamped automatically.
+type ReportMeta struct {
+	// Experiment is the sweep's table ID, or "all" for a suite run.
+	Experiment string
+	// Seed, Quick and Workers mirror the harness Config that drove the
+	// sweep.
+	Seed    uint64
+	Quick   bool
+	Workers int
+}
+
+// A RunReport is a JSONL trace sink for one sweep: a meta record, then one
+// record per completed simulator round and per committed row batch, then a
+// summary. It implements the harness Observer hook shape (SimRound,
+// BatchDone), so attaching it is one field assignment, and it is safe for
+// concurrent use — parallel sweep workers interleave their records, each
+// self-describing via its experiment field.
+//
+// A report observes and never influences: it is wall-clock telemetry by
+// design (the repository's byte-identity guarantees cover tables,
+// checkpoints and BENCH artifacts, not reports), and a sweep's results are
+// identical with or without one attached.
+type RunReport struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	enc       *json.Encoder
+	err       error
+	start     time.Time
+	lastBatch time.Time
+
+	rounds   int64
+	messages int64
+	bytes    int64
+	batches  int
+	rows     int
+}
+
+// reportRecord is the union of all JSONL line shapes; Type discriminates.
+type reportRecord struct {
+	Type string `json:"type"`
+
+	// meta
+	Schema     string `json:"schema,omitempty"`
+	Stamp      string `json:"stamp,omitempty"`
+	Go         string `json:"go,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Quick      bool   `json:"quick,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+
+	// round and batch
+	Experiment string `json:"experiment,omitempty"`
+	Round      int    `json:"round,omitempty"`
+	Messages   int64  `json:"messages,omitempty"`
+	Bytes      int64  `json:"bytes,omitempty"`
+	Active     int    `json:"active,omitempty"`
+	Halted     int    `json:"halted,omitempty"`
+
+	Batches    int     `json:"batches,omitempty"`
+	Rows       int     `json:"rows,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms,omitempty"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+
+	// summary
+	TotalRounds   int64 `json:"total_rounds,omitempty"`
+	TotalMessages int64 `json:"total_messages,omitempty"`
+	TotalBytes    int64 `json:"total_bytes,omitempty"`
+	TotalBatches  int   `json:"total_batches,omitempty"`
+	TotalRows     int   `json:"total_rows,omitempty"`
+}
+
+// NewRunReport starts a run report on w, writing the meta record
+// immediately. The caller owns w; Close flushes but does not close it.
+func NewRunReport(w io.Writer, meta ReportMeta) *RunReport {
+	bw := bufio.NewWriter(w)
+	r := &RunReport{w: bw, enc: json.NewEncoder(bw), start: now()}
+	r.lastBatch = r.start
+	r.write(reportRecord{
+		Type:       "meta",
+		Schema:     ReportSchema,
+		Stamp:      r.start.UTC().Format(time.RFC3339Nano),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Experiment: meta.Experiment,
+		Seed:       meta.Seed,
+		Quick:      meta.Quick,
+		Workers:    meta.Workers,
+	})
+	return r
+}
+
+// write encodes one record under the lock, latching the first error.
+func (r *RunReport) write(rec reportRecord) {
+	if r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(rec)
+}
+
+// SimRound records one completed simulator round (the sim.Config
+// OnRoundStats hook, forwarded by the harness Observer wiring).
+func (r *RunReport) SimRound(experiment string, s sim.RoundStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rounds++
+	r.messages += s.Messages
+	r.bytes += s.Bytes
+	r.write(reportRecord{
+		Type:       "round",
+		Experiment: experiment,
+		Round:      s.Round,
+		Messages:   s.Messages,
+		Bytes:      s.Bytes,
+		Active:     s.Active,
+		Halted:     s.Halted,
+	})
+}
+
+// BatchDone records one committed row batch with its wall-clock timing:
+// elapsed since the previous commit and the batch's rows/s.
+func (r *RunReport) BatchDone(experiment string, batches, rowsInBatch int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := now()
+	elapsed := t.Sub(r.lastBatch)
+	r.lastBatch = t
+	r.batches = batches
+	r.rows += rowsInBatch
+	rec := reportRecord{
+		Type:       "batch",
+		Experiment: experiment,
+		Batches:    batches,
+		Rows:       rowsInBatch,
+		ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if elapsed > 0 {
+		rec.RowsPerSec = float64(rowsInBatch) / elapsed.Seconds()
+	}
+	r.write(rec)
+}
+
+// Close writes the summary record and flushes. It returns the first error
+// encountered anywhere in the report's lifetime. The report must not be
+// used afterwards.
+func (r *RunReport) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.write(reportRecord{
+		Type:          "summary",
+		ElapsedMS:     float64(since(r.start).Nanoseconds()) / 1e6,
+		TotalRounds:   r.rounds,
+		TotalMessages: r.messages,
+		TotalBytes:    r.bytes,
+		TotalBatches:  r.batches,
+		TotalRows:     r.rows,
+	})
+	if err := r.w.Flush(); r.err == nil {
+		r.err = err
+	}
+	return r.err
+}

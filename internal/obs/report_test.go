@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+
+	"locality/internal/sim"
+)
+
+// decodeLines parses every JSONL record of a report.
+func decodeLines(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, m)
+	}
+	return recs
+}
+
+func TestRunReportStructure(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunReport(&buf, ReportMeta{Experiment: "E2", Seed: 7, Quick: true, Workers: 2})
+	r.SimRound("E2", sim.RoundStats{Round: 1, Messages: 10, Bytes: 80, Active: 5, Halted: 2})
+	r.SimRound("E2", sim.RoundStats{Round: 2, Messages: 3, Bytes: 24, Active: 3, Halted: 5})
+	r.BatchDone("E2", 1, 4)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeLines(t, buf.Bytes())
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5 (meta, 2 rounds, batch, summary)", len(recs))
+	}
+	meta := recs[0]
+	if meta["type"] != "meta" || meta["schema"] != ReportSchema {
+		t.Errorf("meta record = %v", meta)
+	}
+	for _, key := range []string{"go", "goos", "goarch", "gomaxprocs", "stamp"} {
+		if _, ok := meta[key]; !ok {
+			t.Errorf("meta record missing provenance key %q", key)
+		}
+	}
+	if meta["go"] != runtime.Version() || meta["goos"] != runtime.GOOS {
+		t.Errorf("meta provenance = %v/%v, want %s/%s", meta["go"], meta["goos"], runtime.Version(), runtime.GOOS)
+	}
+	if meta["experiment"] != "E2" || meta["seed"] != float64(7) || meta["quick"] != true || meta["workers"] != float64(2) {
+		t.Errorf("meta identity = %v", meta)
+	}
+
+	round := recs[1]
+	if round["type"] != "round" || round["experiment"] != "E2" ||
+		round["round"] != float64(1) || round["messages"] != float64(10) ||
+		round["bytes"] != float64(80) || round["active"] != float64(5) || round["halted"] != float64(2) {
+		t.Errorf("round record = %v", round)
+	}
+
+	batch := recs[3]
+	if batch["type"] != "batch" || batch["batches"] != float64(1) || batch["rows"] != float64(4) {
+		t.Errorf("batch record = %v", batch)
+	}
+	if _, ok := batch["elapsed_ms"]; !ok {
+		t.Errorf("batch record missing elapsed_ms: %v", batch)
+	}
+
+	sum := recs[4]
+	if sum["type"] != "summary" || sum["total_rounds"] != float64(2) ||
+		sum["total_messages"] != float64(13) || sum["total_bytes"] != float64(104) ||
+		sum["total_batches"] != float64(1) || sum["total_rows"] != float64(4) {
+		t.Errorf("summary record = %v", sum)
+	}
+}
+
+// TestRunReportNil: a nil report is the disabled sink — every method is a
+// safe no-op.
+func TestRunReportNil(t *testing.T) {
+	var r *RunReport
+	r.SimRound("E1", sim.RoundStats{Round: 1})
+	r.BatchDone("E1", 1, 1)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReportConcurrent: parallel sweep workers interleave records; under
+// -race this is the report's data-race gate, and every record must still be
+// valid JSONL.
+func TestRunReportConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunReport(&buf, ReportMeta{Experiment: "all"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 50; i++ {
+				r.SimRound("E2", sim.RoundStats{Round: i, Messages: 1, Bytes: 8, Active: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeLines(t, buf.Bytes())
+	if len(recs) != 1+8*50+1 {
+		t.Fatalf("got %d records, want %d", len(recs), 1+8*50+1)
+	}
+	if sum := recs[len(recs)-1]; sum["total_rounds"] != float64(8*50) || sum["total_messages"] != float64(8*50) {
+		t.Errorf("summary = %v", sum)
+	}
+}

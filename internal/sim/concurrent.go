@@ -57,7 +57,13 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 		node     int
 		justDone bool
 		fault    *NodeError
+		// msgs/bytes carry the node's per-round telemetry when
+		// Config.OnRoundStats is set; the coordinator aggregates them so
+		// the hook observes the same totals the sequential engine reports.
+		msgs  int64
+		bytes int64
 	}
+	stats := cfg.OnRoundStats != nil
 	start := make([]chan bool, n) // true = run a round, false = stop
 	statusCh := make(chan status, n)
 	abort := make(chan struct{})
@@ -119,6 +125,10 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 					}
 					if msg != nil {
 						msgCount.Add(1)
+						if stats {
+							st.msgs++
+							st.bytes += MessageBytes(msg)
+						}
 					}
 					select {
 					case out[v][p] <- msg:
@@ -203,10 +213,12 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 			return nil, fmt.Errorf("%w: budget %d, %d nodes still live", ErrMaxRounds, cfg.MaxRounds, live)
 		}
 		res.Rounds = step - 1
+		active := live
 		for v := 0; v < n; v++ {
 			start[v] <- true
 		}
 		var fault *NodeError
+		var roundMsgs, roundBytes int64
 		for i := 0; i < n; i++ {
 			st, err := collect(step - 1)
 			if err != nil {
@@ -215,6 +227,8 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 			if st.fault != nil && st.fault.before(fault) {
 				fault = st.fault
 			}
+			roundMsgs += st.msgs
+			roundBytes += st.bytes
 			if st.justDone {
 				haltRound[st.node] = step - 1
 				live--
@@ -224,11 +238,15 @@ func runConcurrent(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 			stopAll()
 			return nil, fault
 		}
-		// Progress hook: every node's status for this step is in, and no
+		// Progress hooks: every node's status for this step is in, and no
 		// node faulted (mirrors the sequential engine, which aborts its
 		// sweep mid-step on a fault and so never notifies for that step).
 		if cfg.OnRound != nil {
 			cfg.OnRound(step)
+		}
+		if stats {
+			cfg.OnRoundStats(RoundStats{Round: step, Messages: roundMsgs,
+				Bytes: roundBytes, Active: active, Halted: n - live})
 		}
 	}
 	stopAll()

@@ -35,6 +35,7 @@ func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 
 	res := &Result{HaltRound: haltRound}
 	live := n
+	stats := cfg.OnRoundStats != nil
 	for step := 1; live > 0; step++ {
 		if ctx.Err() != nil {
 			return nil, cancelErr(ctx, step-1)
@@ -46,6 +47,8 @@ func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 			return nil, fmt.Errorf("%w: budget %d, %d nodes still live", ErrMaxRounds, cfg.MaxRounds, live)
 		}
 		res.Rounds = step - 1
+		active := live
+		var roundMsgs, roundBytes int64
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
@@ -65,6 +68,10 @@ func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 				u, rev := g.NeighborPort(v, p)
 				inboxNext[u][rev] = send[p]
 				res.MessagesSent++
+				if stats {
+					roundMsgs++
+					roundBytes += MessageBytes(send[p])
+				}
 			}
 			if nodeDone {
 				done[v] = true
@@ -77,11 +84,15 @@ func runSequential(ctx context.Context, g Topology, cfg Config, f Factory) (*Res
 		for v := 0; v < n; v++ {
 			clearMessages(inboxNext[v])
 		}
-		// Progress hook: the step completed for every node (faulted steps
+		// Progress hooks: the step completed for every node (faulted steps
 		// return above, matching the concurrent engine's fault-free-only
 		// notification).
 		if cfg.OnRound != nil {
 			cfg.OnRound(step)
+		}
+		if stats {
+			cfg.OnRoundStats(RoundStats{Round: step, Messages: roundMsgs,
+				Bytes: roundBytes, Active: active, Halted: n - live})
 		}
 	}
 

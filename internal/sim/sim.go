@@ -134,6 +134,57 @@ type Config struct {
 	// mutate machines or messages, and a run's Result is identical with or
 	// without it.
 	OnRound func(round int)
+	// OnRoundStats, when non-nil, is the round-level telemetry hook: after
+	// each completed step (immediately after OnRound) it receives that
+	// step's RoundStats. Both engines call it from the coordinating
+	// goroutine in step order and deliver identical sequences for
+	// identical runs, and like OnRound it observes — never influences —
+	// the run: with the hook nil the engines skip all stats accounting, so
+	// a disabled run pays nothing (the sequential engine stays 0
+	// allocs/round) and a Result is byte-identical either way.
+	OnRoundStats func(RoundStats)
+}
+
+// RoundStats is one completed step's telemetry snapshot, delivered through
+// Config.OnRoundStats. It exists for observability layers (internal/obs
+// run reports); the LOCAL model itself meters none of these quantities.
+type RoundStats struct {
+	// Round is the step number (1, 2, ...), matching OnRound.
+	Round int
+	// Messages counts the non-nil messages sent during the step.
+	Messages int64
+	// Bytes approximates the payload bytes of those messages (see
+	// MessageBytes); 0-cost message types contribute nothing.
+	Bytes int64
+	// Active is the number of nodes that executed Step this round (live at
+	// the start of the step).
+	Active int
+	// Halted is the cumulative number of halted nodes at the end of the
+	// step.
+	Halted int
+}
+
+// MessageBytes approximates a message's wire size for telemetry: the byte
+// length of string and []byte payloads, the machine width of fixed-size
+// scalars, and 0 for every other type (the LOCAL model does not meter
+// messages, so structured payloads are deliberately not reflected over —
+// sizing must stay allocation-free on the hot path).
+func MessageBytes(m Message) int64 {
+	switch v := m.(type) {
+	case string:
+		return int64(len(v))
+	case []byte:
+		return int64(len(v))
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint, uint64, float64:
+		return 8
+	}
+	return 0
 }
 
 // Result reports a completed run.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-kernel race-supervision fuzz-smoke obs bench experiments
+.PHONY: all build test vet lint race race-kernel race-supervision cluster fuzz-smoke obs bench experiments
 
 all: build test
 
@@ -38,6 +38,16 @@ race-kernel:
 # sweep above.
 race-supervision:
 	$(GO) test -race -count=1 ./internal/jobs ./cmd/localityd
+
+# Cluster gate (CI): the fault-tolerant sharded mode under the race
+# detector — coordinator merge/failover units, the in-process front-end
+# wire test, and the multi-process kill-a-shard e2e that SIGKILLs one
+# worker localityd mid-sweep and asserts the merged table is byte-identical
+# with zero batches lost (DESIGN.md §10). CLUSTER_RUNREPORT, when set,
+# receives the coordinator's run report for the killed sweep.
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster ./internal/fault
+	$(GO) test -race -count=1 -run 'TestCluster' -v ./cmd/localityd
 
 # Short fuzz sweep (CI smoke, not a soak): each target runs for a few
 # seconds. `go test -fuzz` accepts one target per invocation, hence one run

@@ -1,0 +1,358 @@
+// Coordinator mode: -coordinator turns this binary into a cluster
+// front-end. It serves the same /v1/jobs API shape as a worker, but each
+// submission becomes a sharded sweep across the static worker membership
+// (internal/cluster): row batches are fanned out by residue class, partial
+// checkpoints are harvested every poll, dead shards fail over to survivors,
+// and the final table is rendered by one deterministic local replay of the
+// merged checkpoint — byte-identical to a single-process run, whatever
+// subset of the cluster survived.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"locality/internal/cluster"
+	"locality/internal/jobs"
+	"locality/internal/obs"
+)
+
+// clusterJob is one cluster sweep's lifecycle record. Snapshots returned
+// from the API are value copies taken under the server mutex.
+type clusterJob struct {
+	ID    string     `json:"id"`
+	Spec  jobs.Spec  `json:"spec"`
+	State jobs.State `json:"state"`
+	// Error and ErrorKind mirror the worker job schema. ErrorKind is
+	// "cluster" for coordinator-detected failures.
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Output is the merged rendered table; set only on success.
+	Output string `json:"output,omitempty"`
+	// Result carries the failover audit trail and batch accounting.
+	Result *cluster.Result `json:"result,omitempty"`
+}
+
+// clusterServer fronts one Coordinator. A Coordinator runs one sweep at a
+// time, so cluster jobs flow through a bounded queue into a single runner
+// goroutine — the same shed-don't-buffer discipline as the worker pool:
+// a full queue is a 429 with Retry-After, never invisible latency.
+type clusterServer struct {
+	coord     *cluster.Coordinator
+	reg       *obs.Registry
+	reportDir string
+
+	mu       sync.Mutex
+	jobs     map[string]*clusterJob
+	order    []string // submission order; List is deterministic
+	seq      int
+	draining bool
+	current  context.CancelFunc // cancels the in-flight sweep, nil if idle
+
+	queue      chan *clusterJob
+	runnerDone chan struct{}
+}
+
+func newClusterServer(coord *cluster.Coordinator, queueDepth int, reg *obs.Registry, reportDir string) *clusterServer {
+	if queueDepth <= 0 {
+		queueDepth = 16
+	}
+	s := &clusterServer{
+		coord:      coord,
+		reg:        reg,
+		reportDir:  reportDir,
+		jobs:       make(map[string]*clusterJob),
+		queue:      make(chan *clusterJob, queueDepth),
+		runnerDone: make(chan struct{}),
+	}
+	go s.runner()
+	return s
+}
+
+// handler builds the coordinator API. Same routes and status discipline as
+// the worker handler, so callers cannot tell (and need not care) whether
+// they reached a worker or a front-end — except that the coordinator owns
+// sharding, so client-supplied Rows are rejected.
+func (s *clusterServer) handler(requestTimeout time.Duration, maxInflight int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", instrumented(s.reg, "submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", instrumented(s.reg, "list", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", instrumented(s.reg, "get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", instrumented(s.reg, "cancel", s.handleCancel))
+	mux.HandleFunc("GET /healthz", instrumented(s.reg, "healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	mux.HandleFunc("GET /readyz", instrumented(s.reg, "readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			w.Header().Set("Retry-After", retryAfterDraining)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: "draining", Reason: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WriteProm(w)
+	})
+	return newLimiter(maxInflight, requestTimeout, s.reg).wrap(mux)
+}
+
+func (s *clusterServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("decoding request: %v", err), Reason: "bad_request"})
+		return
+	}
+	if req.Rows != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "rows are coordinator-owned in cluster mode", Reason: "invalid_rows"})
+		return
+	}
+	spec := jobs.Spec{
+		Experiment: req.Experiment,
+		Quick:      req.Quick,
+		Seed:       req.Seed,
+		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		Workers:    req.Workers,
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", retryAfterDraining)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "coordinator draining", Reason: "draining"})
+		return
+	}
+	cj := &clusterJob{ID: fmt.Sprintf("cjob-%d", s.seq), Spec: spec, State: jobs.StateQueued}
+	select {
+	case s.queue <- cj:
+		s.seq++
+		s.jobs[cj.ID] = cj
+		s.order = append(s.order, cj.ID)
+		s.mu.Unlock()
+	default:
+		qlen, qcap := len(s.queue), cap(s.queue)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", retryAfterShed)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: "cluster queue full", Reason: "queue_full", QueueLen: qlen, QueueCap: qcap})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+cj.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": cj.ID})
+}
+
+func (s *clusterServer) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]clusterJob, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, *s.jobs[id])
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+func (s *clusterServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cj, ok := s.jobs[r.PathValue("id")]
+	var snap clusterJob
+	if ok {
+		snap = *cj
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "unknown job", Reason: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *clusterServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cj, ok := s.jobs[r.PathValue("id")]
+	if ok {
+		switch cj.State {
+		case jobs.StateQueued:
+			// The runner skips cancelled entries when they surface.
+			cj.State = jobs.StateCancelled
+			cj.ErrorKind = "cancelled"
+		case jobs.StateRunning:
+			if s.current != nil {
+				s.current()
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "unknown job", Reason: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+}
+
+// runner executes cluster jobs one at a time (a Coordinator is not safe
+// for concurrent Runs). It exits when the queue closes at drain.
+func (s *clusterServer) runner() {
+	defer close(s.runnerDone)
+	for cj := range s.queue {
+		s.runOne(cj)
+	}
+}
+
+func (s *clusterServer) runOne(cj *clusterJob) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	if cj.State != jobs.StateQueued { // cancelled while queued, or draining
+		s.mu.Unlock()
+		return
+	}
+	cj.State = jobs.StateRunning
+	s.current = cancel
+	s.mu.Unlock()
+	if cj.Spec.Timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, cj.Spec.Timeout)
+		defer tcancel()
+	}
+
+	res, err := s.coord.Run(ctx, cj.Spec)
+
+	s.mu.Lock()
+	s.current = nil
+	cj.Result = res
+	if err != nil {
+		cj.State = jobs.StateFailed
+		cj.Error = err.Error()
+		cj.ErrorKind = "cluster"
+		if ctx.Err() != nil {
+			cj.State = jobs.StateCancelled
+			cj.ErrorKind = "cancelled"
+		}
+	} else {
+		cj.State = jobs.StateSucceeded
+		cj.Output = res.Output
+	}
+	snap := *cj
+	s.mu.Unlock()
+	s.writeReport(snap)
+}
+
+// writeReport persists the sweep's audit trail as <id>.report.jsonl: one
+// line per failover event, then a summary line with the batch accounting.
+// Like worker run reports, report I/O failures never fail the job.
+func (s *clusterServer) writeReport(cj clusterJob) {
+	if s.reportDir == "" || cj.Result == nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(s.reportDir, cj.ID+".report.jsonl"))
+	if err != nil {
+		log.Printf("localityd: cluster report: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range cj.Result.Events {
+		_ = enc.Encode(map[string]any{"kind": "event", "event": e})
+	}
+	_ = enc.Encode(map[string]any{
+		"kind":          "summary",
+		"id":            cj.ID,
+		"experiment":    cj.Spec.Experiment,
+		"state":         cj.State,
+		"error":         cj.Error,
+		"total_batches": cj.Result.TotalBatches,
+		"adopted":       cj.Result.Adopted,
+		"retried":       cj.Result.Retried,
+		"recomputed":    cj.Result.Recomputed,
+		"lost":          cj.Result.Lost,
+	})
+}
+
+// drain mirrors the worker drain: readiness flips, queued jobs are
+// cancelled, the in-flight sweep runs to the deadline and is then
+// cancelled (shard-side checkpoints survive for a resumed run).
+func (s *clusterServer) drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+		for _, id := range s.order {
+			if cj := s.jobs[id]; cj.State == jobs.StateQueued {
+				cj.State = jobs.StateCancelled
+				cj.ErrorKind = "cancelled"
+			}
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.runnerDone:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.current != nil {
+			s.current()
+		}
+		s.mu.Unlock()
+		<-s.runnerDone
+		return fmt.Errorf("cluster drain deadline hit; in-flight sweep cancelled")
+	}
+}
+
+// clusterConfig carries the -coordinator flag set into serveCluster.
+type clusterConfig struct {
+	opts       cluster.Options
+	queueDepth int
+	reportDir  string
+}
+
+// membership resolves the static worker set from -shards / -membership-file
+// (exactly one must be given).
+func membership(shardsFlag, membershipFile string) ([]cluster.Shard, error) {
+	switch {
+	case shardsFlag != "" && membershipFile != "":
+		return nil, fmt.Errorf("localityd: -shards and -membership-file are mutually exclusive")
+	case shardsFlag != "":
+		return cluster.ParseShards(shardsFlag)
+	case membershipFile != "":
+		return cluster.LoadShards(membershipFile)
+	default:
+		return nil, fmt.Errorf("localityd: -coordinator requires -shards or -membership-file")
+	}
+}
+
+// serveCluster is the coordinator-mode lifecycle: same signal handling and
+// drain discipline as the worker serve, fronting a Coordinator instead of
+// a local pool.
+func serveCluster(ln net.Listener, cfg clusterConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
+	reg := obs.NewRegistry()
+	cfg.opts.Metrics = reg
+	cfg.opts.Logf = log.Printf
+	coord, err := cluster.New(cfg.opts)
+	if err != nil {
+		return err
+	}
+	s := newClusterServer(coord, cfg.queueDepth, reg, cfg.reportDir)
+	for _, sh := range coord.Shards() {
+		log.Printf("localityd: cluster member %s = %s", sh.Name, sh.URL)
+	}
+	return serveUntilSignal(ln, s.handler(requestTimeout, maxInflight), pprofAddr,
+		"localityd (coordinator)", drainTimeout, s.drain)
+}

@@ -5,13 +5,24 @@
 // drain deadline, the rest are cancelled with their progress persisted for
 // a resumed run to pick up byte-identically.
 //
-//	POST   /v1/jobs      submit a job; 202 with the job ID, 429/503 when shed
-//	GET    /v1/jobs      list all jobs
-//	GET    /v1/jobs/{id} job snapshot (state, progress, result table)
-//	DELETE /v1/jobs/{id} request cancellation
-//	GET    /healthz      liveness (200 while the process serves)
-//	GET    /readyz       readiness (503 once draining)
-//	GET    /metrics      Prometheus text exposition (pool + HTTP metrics)
+//	POST   /v1/jobs                 submit a job; 202 with the job ID, 429/503 when shed
+//	GET    /v1/jobs                 list all jobs
+//	GET    /v1/jobs/{id}            job snapshot (state, progress, result table)
+//	GET    /v1/jobs/{id}/checkpoint job state + latest checkpoint snapshot
+//	DELETE /v1/jobs/{id}            request cancellation
+//	GET    /healthz                 liveness (200 while the process serves)
+//	GET    /readyz                  readiness (503 once draining)
+//	GET    /metrics                 Prometheus text exposition (pool + HTTP metrics)
+//
+// Every retryable rejection (429 queue-full, 503 draining or overloaded)
+// carries a Retry-After header and a structured JSON body, so clients —
+// the cluster coordinator included — can back off with intent instead of
+// guessing.
+//
+// With -coordinator the same binary becomes a cluster front-end instead:
+// submissions are sharded across a static membership of worker localityd
+// instances (-shards / -membership-file), merged in row order, and served
+// back byte-identical to a single-process run. See cluster.go.
 //
 // Profiling is opt-in: -pprof-addr spawns net/http/pprof on a separate
 // listener, never on the API port.
@@ -33,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"locality/internal/cluster"
 	"locality/internal/harness"
 	"locality/internal/jobs"
 	"locality/internal/obs"
@@ -48,6 +60,9 @@ type submitRequest struct {
 	// Workers computes the sweep's rows in parallel (same bytes, less wall
 	// clock; see jobs.Spec.Workers).
 	Workers int `json:"workers,omitempty"`
+	// Rows, when non-nil, runs the job as one shard of a cluster sweep
+	// (see jobs.Spec.Rows). Coordinators set it; humans rarely should.
+	Rows *jobs.RowSpec `json:"rows,omitempty"`
 }
 
 // errorResponse is every non-2xx JSON body.
@@ -68,27 +83,18 @@ type server struct {
 	// draining flips readiness before the pool drain begins, so /readyz
 	// reports 503 for the whole shutdown window.
 	draining atomic.Bool
-	// inflight is the request concurrency semaphore.
-	inflight chan struct{}
-	// requestTimeout bounds each request's context.
-	requestTimeout time.Duration
+	// lim enforces the request concurrency cap and per-request timeout.
+	lim *limiter
 	// reg backs /metrics; the pool shares it. Nil disables instrumentation
 	// (every obs call below is nil-safe).
 	reg *obs.Registry
-	// rejected counts requests shed by the inflight limiter.
-	rejected *obs.Counter
 }
 
 func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration, reg *obs.Registry) *server {
-	if maxInflight <= 0 {
-		maxInflight = 64
-	}
 	return &server{
-		pool:           pool,
-		inflight:       make(chan struct{}, maxInflight),
-		requestTimeout: requestTimeout,
-		reg:            reg,
-		rejected:       reg.Counter("locality_http_rejected_total", "Requests shed by the concurrency limiter."),
+		pool: pool,
+		lim:  newLimiter(maxInflight, requestTimeout, reg),
+		reg:  reg,
 	}
 }
 
@@ -99,12 +105,14 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("get", s.handleGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() || s.pool.Draining() {
+			w.Header().Set("Retry-After", retryAfterDraining)
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error: "draining", Reason: "draining"})
 			return
@@ -112,7 +120,7 @@ func (s *server) handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.limit(mux)
+	return s.lim.wrap(mux)
 }
 
 // statusWriter captures the response status for the request counter.
@@ -130,14 +138,20 @@ func (w *statusWriter) WriteHeader(code int) {
 // request counter. Routes are named explicitly (not from the request path)
 // so the label space stays bounded.
 func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	hist := s.reg.Histogram("locality_http_request_seconds",
+	return instrumented(s.reg, route, h)
+}
+
+// instrumented is the route instrumentation shared by the worker and
+// coordinator handlers.
+func instrumented(reg *obs.Registry, route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := reg.Histogram("locality_http_request_seconds",
 		"HTTP request latency by route.", obs.DefTimeBuckets, "route", route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		hist.Observe(time.Since(start).Seconds())
-		s.reg.Counter("locality_http_requests_total",
+		reg.Counter("locality_http_requests_total",
 			"HTTP requests by route and status code.",
 			"route", route, "code", strconv.Itoa(sw.status)).Inc()
 	}
@@ -151,24 +165,41 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WriteProm(w)
 }
 
-// limit is the backpressure middleware: at most cap(inflight) concurrent
-// requests, each bounded by the per-request timeout. Excess requests are
-// rejected immediately with 503 — the service sheds, it never queues
-// invisibly.
-func (s *server) limit(next http.Handler) http.Handler {
+// limiter is the backpressure middleware shared by both serving modes: at
+// most cap(inflight) concurrent requests, each bounded by the per-request
+// timeout. Excess requests are rejected immediately with 503 + Retry-After
+// — the service sheds, it never queues invisibly.
+type limiter struct {
+	inflight chan struct{}
+	timeout  time.Duration
+	rejected *obs.Counter
+}
+
+func newLimiter(maxInflight int, requestTimeout time.Duration, reg *obs.Registry) *limiter {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	return &limiter{
+		inflight: make(chan struct{}, maxInflight),
+		timeout:  requestTimeout,
+		rejected: reg.Counter("locality_http_rejected_total", "Requests shed by the concurrency limiter."),
+	}
+}
+
+func (l *limiter) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
+		case l.inflight <- struct{}{}:
+			defer func() { <-l.inflight }()
 		default:
-			s.rejected.Inc()
-			w.Header().Set("Retry-After", "1")
+			l.rejected.Inc()
+			w.Header().Set("Retry-After", retryAfterShed)
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error: "too many concurrent requests", Reason: "overloaded"})
 			return
 		}
-		if s.requestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		if l.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), l.timeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
@@ -190,9 +221,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Seed:       req.Seed,
 		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
 		Workers:    req.Workers,
+		Rows:       req.Rows,
 	})
 	if err != nil {
-		writeJSON(w, shedStatus(err), shedResponse(err))
+		status := shedStatus(err)
+		if after := retryAfter(status); after != "" {
+			w.Header().Set("Retry-After", after)
+		}
+		writeJSON(w, status, shedResponse(err))
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+id)
@@ -213,6 +249,23 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j)
 }
 
+// handleCheckpoint serves the job's state together with its latest
+// checkpoint snapshot in one response. The cluster coordinator polls this
+// endpoint: a single fetch both tracks progress and harvests partial work,
+// so a shard that dies a moment later has already surrendered everything it
+// committed.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.pool.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "unknown job", Reason: "not_found"})
+		return
+	}
+	ck, _ := s.pool.Checkpoint(id)
+	writeJSON(w, http.StatusOK, map[string]any{"state": j.State, "checkpoint": ck})
+}
+
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if err := s.pool.Cancel(r.PathValue("id")); err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{
@@ -222,12 +275,34 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
 }
 
+// Retry-After values (delay-seconds) for retryable rejections. A full
+// queue clears as fast as one job finishes; a draining instance needs a
+// redeploy, so clients should wait longer before trying it again.
+const (
+	retryAfterShed     = "1"
+	retryAfterDraining = "5"
+)
+
+// retryAfter yields the Retry-After value for a rejection status, empty for
+// statuses a client should not retry.
+func retryAfter(status int) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return retryAfterShed
+	case http.StatusServiceUnavailable:
+		return retryAfterDraining
+	default:
+		return ""
+	}
+}
+
 // shedStatus maps a rejected submission to its HTTP status: client errors
 // are 400, a full queue is 429 (retryable by the same client later), and a
 // draining pool is 503 (route elsewhere).
 func shedStatus(err error) int {
 	switch {
-	case errors.Is(err, jobs.ErrUnknownExperiment):
+	case errors.Is(err, jobs.ErrUnknownExperiment),
+		errors.Is(err, jobs.ErrInvalidRowSpec):
 		return http.StatusBadRequest
 	case errors.Is(err, jobs.ErrQueueFull):
 		return http.StatusTooManyRequests
@@ -244,6 +319,8 @@ func shedResponse(err error) errorResponse {
 	switch {
 	case errors.Is(err, jobs.ErrUnknownExperiment):
 		resp.Reason = "unknown_experiment"
+	case errors.Is(err, jobs.ErrInvalidRowSpec):
+		resp.Reason = "invalid_rows"
 	case errors.Is(err, jobs.ErrQueueFull):
 		resp.Reason = "queue_full"
 	case errors.Is(err, jobs.ErrDraining):
@@ -276,6 +353,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func main() {
 	var (
 		addr           = flag.String("addr", ":8177", "listen address")
+		coordinator    = flag.Bool("coordinator", false, "run as a cluster front-end sharding sweeps across worker instances")
+		shardsFlag     = flag.String("shards", "", "comma-separated worker membership: name=url or url (coordinator mode)")
+		membershipFile = flag.String("membership-file", "", "file with one worker per line: name=url or url, # comments (coordinator mode)")
+		shardTimeout   = flag.Duration("shard-timeout", 5*time.Second, "per-attempt HTTP timeout against a worker shard")
+		shardRetries   = flag.Int("shard-retries", 3, "attempt budget per shard API call")
+		pollInterval   = flag.Duration("poll-interval", 100*time.Millisecond, "coordinator dispatch/merge cadence")
+		probeInterval  = flag.Duration("probe-interval", 500*time.Millisecond, "shard health probe cadence")
+		probeThreshold = flag.Int("probe-threshold", 3, "consecutive probe failures that mark a shard unhealthy")
+		shardWorkers   = flag.Int("shard-workers", 0, "parallel row workers per shard job (0 = sequential)")
 		workers        = flag.Int("workers", 2, "concurrent experiment runners")
 		queueDepth     = flag.Int("queue", 16, "submission queue bound (excess is shed)")
 		checkpointDir  = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty = in-memory only)")
@@ -290,6 +376,37 @@ func main() {
 		reportDir      = flag.String("report-dir", "", "directory for per-job JSONL run reports (empty = disabled)")
 	)
 	flag.Parse()
+	if *coordinator {
+		shards, err := membership(*shardsFlag, *membershipFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatalf("localityd: listen: %v", err)
+		}
+		cfg := clusterConfig{
+			opts: cluster.Options{
+				Shards:         shards,
+				RequestTimeout: *shardTimeout,
+				Retries:        *shardRetries,
+				Backoff:        harness.Backoff{Base: *retryBase, Max: *retryMax, Seed: *backoffSeed},
+				PollInterval:   *pollInterval,
+				ProbeInterval:  *probeInterval,
+				ProbeThreshold: *probeThreshold,
+				ShardWorkers:   *shardWorkers,
+			},
+			queueDepth: *queueDepth,
+			reportDir:  *reportDir,
+		}
+		if err := serveCluster(ln, cfg, *drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shardsFlag != "" || *membershipFile != "" {
+		log.Fatal("localityd: -shards/-membership-file require -coordinator")
+	}
 	if err := run(*addr, jobs.Options{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
@@ -324,30 +441,38 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-// serve runs the service on an existing listener until SIGTERM/SIGINT, then
-// drains: readiness flips, the pool runs down to the drain deadline
-// (checkpointing whatever it must cancel), and every goroutine is reaped
-// before serve returns.
+// serve runs the worker service on an existing listener until
+// SIGTERM/SIGINT, then drains: readiness flips, the pool runs down to the
+// drain deadline (checkpointing whatever it must cancel), and every
+// goroutine is reaped before serve returns.
 func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	reg := obs.NewRegistry()
 	poolOpts.Metrics = reg
 	pool := jobs.New(poolOpts)
 	s := newServer(pool, maxInflight, requestTimeout, reg)
+	return serveUntilSignal(ln, s.handler(), pprofAddr, "localityd", drainTimeout, s.drain)
+}
+
+// serveUntilSignal is the serving lifecycle shared by the worker and
+// coordinator modes: serve the handler until SIGTERM/SIGINT (or a listener
+// error), then run the mode's drain under the deadline and shut the
+// listener down.
+func serveUntilSignal(ln net.Listener, h http.Handler, pprofAddr, name string, drainTimeout time.Duration, drain func(context.Context) error) error {
 	srv := &http.Server{
-		Handler:           s.handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if pprofAddr != "" {
 		pln, err := net.Listen("tcp", pprofAddr)
 		if err != nil {
-			return fmt.Errorf("localityd: pprof listen: %w", err)
+			return fmt.Errorf("%s: pprof listen: %w", name, err)
 		}
 		psrv := &http.Server{Handler: pprofHandler(), ReadHeaderTimeout: 5 * time.Second}
 		defer psrv.Close()
 		go func() {
-			log.Printf("localityd pprof listening on %s", pln.Addr())
+			log.Printf("%s pprof listening on %s", name, pln.Addr())
 			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("localityd: pprof serve: %v", err)
+				log.Printf("%s: pprof serve: %v", name, err)
 			}
 		}()
 	}
@@ -357,7 +482,7 @@ func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout 
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("localityd listening on %s", ln.Addr())
+		log.Printf("%s listening on %s", name, ln.Addr())
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -365,20 +490,20 @@ func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout 
 
 	select {
 	case err := <-errc:
-		return fmt.Errorf("localityd: serve: %w", err)
+		return fmt.Errorf("%s: serve: %w", name, err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("localityd: draining (deadline %v)", drainTimeout)
+	log.Printf("%s: draining (deadline %v)", name, drainTimeout)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	if err := s.drain(drainCtx); err != nil {
-		log.Printf("localityd: %v (remaining jobs cancelled and checkpointed)", err)
+	if err := drain(drainCtx); err != nil {
+		log.Printf("%s: %v (remaining progress checkpointed)", name, err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
-		return fmt.Errorf("localityd: shutdown: %w", err)
+		return fmt.Errorf("%s: shutdown: %w", name, err)
 	}
-	log.Printf("localityd: drained")
+	log.Printf("%s: drained", name)
 	return nil
 }

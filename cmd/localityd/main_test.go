@@ -210,7 +210,7 @@ func TestConcurrencyLimit(t *testing.T) {
 		_ = s.drain(ctx)
 	}()
 
-	s.inflight <- struct{}{} // occupy the only slot
+	s.lim.inflight <- struct{}{} // occupy the only slot
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestConcurrencyLimit(t *testing.T) {
 	if er.Reason != "overloaded" {
 		t.Errorf("reason %q", er.Reason)
 	}
-	<-s.inflight
+	<-s.lim.inflight
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("freed server: %v %v", resp.StatusCode, err)

@@ -56,12 +56,19 @@ func main() {
 //     read the clock: run-report timing is wall-clock telemetry by design,
 //     and confining the reads to one file keeps the rest of the package —
 //     the metric types the hot paths' hooks feed — provably clock-free.
+//   - internal/cluster may read the clock: the coordinator's request
+//     timeouts, poll cadence and health-probe intervals are wall-clock
+//     supervision, like internal/jobs. The sweep results it merges stay
+//     deterministic — timing decides which shard computes a batch, never
+//     the batch's bytes (DESIGN.md §10).
 //   - internal/fault machines may observe Env.Node: the fault shim maps
 //     itself to a host vertex to look up its entry in the fault plan —
 //     instrumentation by design, documented in fault.go.
-//   - internal/sim and internal/harness are the obsinert hot paths: calls
-//     into internal/obs there must be fire-and-forget statements, so
-//     telemetry can never influence a run (DESIGN.md §9).
+//   - internal/sim and internal/harness are the obsinert hot paths, and
+//     internal/cluster joins them: calls into internal/obs there must be
+//     fire-and-forget statements, so telemetry can never influence a run —
+//     for the coordinator, so failover decisions never consume their own
+//     metrics (DESIGN.md §9–10).
 func contractAnalyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		analysis.NewNoRawRand(analysis.NoRawRandOptions{}),
@@ -69,6 +76,7 @@ func contractAnalyzers() []*analysis.Analyzer {
 			AllowPackages: []string{
 				"locality/internal/sim",
 				"locality/internal/jobs",
+				"locality/internal/cluster",
 				"locality/cmd/localityd",
 				"locality/cmd/localbench",
 			},
@@ -87,6 +95,7 @@ func contractAnalyzers() []*analysis.Analyzer {
 			HotPackages: []string{
 				"locality/internal/sim",
 				"locality/internal/harness",
+				"locality/internal/cluster",
 			},
 		}),
 	}

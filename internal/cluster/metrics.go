@@ -1,0 +1,63 @@
+package cluster
+
+import "locality/internal/obs"
+
+// clusterMetrics is the coordinator's instrumentation, aggregated per shard
+// on the coordinator's own /metrics. The cluster package is under the
+// obsinert gate (cmd/localvet): coordination decisions must never consume
+// telemetry, so every method here is a fire-and-forget statement chain and
+// nothing ever reads a metric back. With a nil registry every call is a
+// no-op (obs is nil-receiver safe).
+type clusterMetrics struct {
+	reg *obs.Registry
+}
+
+// retry counts a shard API call retried after a transient failure.
+func (m clusterMetrics) retry() {
+	m.reg.Counter("locality_cluster_client_retries_total",
+		"Shard API calls retried after a transient failure.").Inc()
+}
+
+// failover counts an assignment reassigned off a shard.
+func (m clusterMetrics) failover() {
+	m.reg.Counter("locality_cluster_failovers_total",
+		"Shard assignments reassigned after a shard died or its job failed.").Inc()
+}
+
+// retried counts batches recomputed by a surviving shard after failover.
+func (m clusterMetrics) retried(n int) {
+	m.reg.Counter("locality_cluster_batches_retried_total",
+		"Row batches recomputed by a surviving shard after failover.").Add(int64(n))
+}
+
+// recomputed counts holes recomputed locally in the endgame.
+func (m clusterMetrics) recomputed(n int) {
+	m.reg.Counter("locality_cluster_batches_recomputed_total",
+		"Checkpoint holes recomputed locally in the coordinator endgame.").Add(int64(n))
+}
+
+// rowsLost records the batches unaccounted for after merge and endgame —
+// zero by construction, which is exactly why it is worth exporting.
+func (m clusterMetrics) rowsLost(n int) {
+	m.reg.Gauge("locality_cluster_rows_lost",
+		"Row batches unaccounted for after merge and endgame (zero by construction).").Set(int64(n))
+}
+
+// shardHealthy records a shard's health as seen by the coordinator prober.
+func (m clusterMetrics) shardHealthy(shard string, v int64) {
+	m.reg.Gauge("locality_cluster_shard_healthy",
+		"Shard health as seen by the coordinator prober (1 healthy).", "shard", shard).Set(v)
+}
+
+// adopted counts batches merged from one shard.
+func (m clusterMetrics) adopted(shard string, n int) {
+	m.reg.Counter("locality_cluster_batches_adopted_total",
+		"Row batches adopted into the merged checkpoint, by computing shard.",
+		"shard", shard).Add(int64(n))
+}
+
+// dispatched counts jobs submitted to one shard.
+func (m clusterMetrics) dispatched(shard string) {
+	m.reg.Counter("locality_cluster_dispatch_total",
+		"Shard jobs dispatched, by shard.", "shard", shard).Inc()
+}

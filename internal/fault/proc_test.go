@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestProcPlanDeterministic(t *testing.T) {
+	p := ProcPlan{Seed: 42, Victims: 2}
+	first := p.VictimIndices(5)
+	if len(first) != 2 {
+		t.Fatalf("victims = %v, want 2 of 5", first)
+	}
+	for i := 0; i < 10; i++ {
+		if got := p.VictimIndices(5); !reflect.DeepEqual(got, first) {
+			t.Fatalf("selection changed between calls: %v then %v", first, got)
+		}
+	}
+	for _, v := range first {
+		if !p.Victim(v, 5) {
+			t.Errorf("Victim(%d, 5) = false for a selected index", v)
+		}
+	}
+	survivors := 0
+	for k := 0; k < 5; k++ {
+		if !p.Victim(k, 5) {
+			survivors++
+		}
+	}
+	if survivors != 3 {
+		t.Errorf("%d survivors of 5 with 2 victims", survivors)
+	}
+}
+
+func TestProcPlanSeedsDiffer(t *testing.T) {
+	// Across seeds the victim of a 3-shard cluster must vary — a constant
+	// choice would mean the hash is not actually consulted.
+	seen := map[int]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		v := ProcPlan{Seed: seed, Victims: 1}.VictimIndices(3)
+		if len(v) != 1 {
+			t.Fatalf("seed %d: victims %v", seed, v)
+		}
+		seen[v[0]] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("32 seeds only ever selected shards %v of 3", seen)
+	}
+}
+
+func TestProcPlanBounds(t *testing.T) {
+	if v := (ProcPlan{}).VictimIndices(3); v != nil {
+		t.Errorf("inactive plan selected %v", v)
+	}
+	if v := (ProcPlan{Seed: 1, Victims: 1}).VictimIndices(1); v != nil {
+		t.Errorf("single-shard cluster selected %v", v)
+	}
+	// Oversampling is capped at n-1: at least one survivor always remains.
+	if v := (ProcPlan{Seed: 1, Victims: 99}).VictimIndices(4); len(v) != 3 {
+		t.Errorf("capped selection = %v, want 3 victims of 4", v)
+	}
+	if got := (ProcPlan{Seed: 1, Victims: 1}).KillAfter(); got != 1 {
+		t.Errorf("default KillAfter = %d", got)
+	}
+	if got := (ProcPlan{Seed: 1, Victims: 1, AfterBatches: 4}).KillAfter(); got != 4 {
+		t.Errorf("KillAfter = %d, want 4", got)
+	}
+	if s := (ProcPlan{}).String(); s != "none" {
+		t.Errorf("inactive String = %q", s)
+	}
+}

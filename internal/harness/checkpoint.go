@@ -36,6 +36,12 @@ import (
 // Checkpoint is the resume state of one experiment sweep: the AddRow
 // batches completed so far, tagged with the identity of the run they came
 // from. It round-trips through JSON unchanged.
+//
+// A checkpoint may be sparse: a nil batch is a hole — a batch some other
+// run (another shard of a cluster sweep) owns, or one not yet computed.
+// Replay skips holes and a resumed sweep recomputes them in place, so a
+// coordinator that merges shard checkpoints with Adopt gets the full table
+// back by re-running the driver over the merged checkpoint.
 type Checkpoint struct {
 	// Experiment is the table ID of the sweep ("E1" ... "A3").
 	Experiment string `json:"experiment"`
@@ -45,9 +51,20 @@ type Checkpoint struct {
 	// at any worker count, so a checkpoint resumes across worker counts).
 	Seed  uint64 `json:"seed"`
 	Quick bool   `json:"quick"`
-	// Batches holds, per completed cfg.Row call, the table rows that call
-	// appended, in sweep order.
+	// Batches holds, per cfg.Row call, the table rows that call appended,
+	// in sweep order. A nil entry is a hole (not computed by this run); an
+	// empty non-nil entry is a computed batch that appended no rows.
 	Batches [][][]string `json:"batches"`
+	// Origins, when present, annotates each batch with the shard that
+	// computed it ("" for locally computed batches). It is written by
+	// coordinators via Adopt — provenance for metrics and run reports,
+	// never consulted by replay.
+	Origins []string `json:"origins,omitempty"`
+	// TotalBatches, when > 0, records the sweep's full batch count — set
+	// once a sharded run completes (every Row call accounted for, computed
+	// or hole). Coordinators use it to decide when a merged checkpoint is
+	// complete.
+	TotalBatches int `json:"total_batches,omitempty"`
 }
 
 // Compatible reports whether the checkpoint can seed a resumed run of the
@@ -68,18 +85,148 @@ func (ck *Checkpoint) Rows() int {
 	return n
 }
 
+// Computed counts the non-hole batches — the batches this checkpoint
+// actually holds rows (possibly zero rows) for.
+func (ck *Checkpoint) Computed() int {
+	if ck == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range ck.Batches {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputedIndices returns the batch indices this checkpoint holds, in
+// order. Coordinators hand the list to shards as a skip set so re-dispatched
+// work never recomputes merged batches.
+func (ck *Checkpoint) ComputedIndices() []int {
+	if ck == nil {
+		return nil
+	}
+	var idx []int
+	for i, b := range ck.Batches {
+		if b != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Complete reports whether the checkpoint holds every batch of the sweep:
+// the total is known (TotalBatches set) and no holes remain.
+func (ck *Checkpoint) Complete() bool {
+	return ck != nil && ck.TotalBatches > 0 &&
+		len(ck.Batches) == ck.TotalBatches && ck.Computed() == ck.TotalBatches
+}
+
 // Clone returns a deep copy, safe to retain after the sweep mutates the
-// original.
+// original. Holes stay holes: a nil batch clones to nil.
 func (ck *Checkpoint) Clone() *Checkpoint {
 	if ck == nil {
 		return nil
 	}
-	c := &Checkpoint{Experiment: ck.Experiment, Seed: ck.Seed, Quick: ck.Quick}
+	c := &Checkpoint{Experiment: ck.Experiment, Seed: ck.Seed, Quick: ck.Quick,
+		TotalBatches: ck.TotalBatches}
 	c.Batches = make([][][]string, len(ck.Batches))
 	for i, batch := range ck.Batches {
 		c.Batches[i] = cloneBatch(batch)
 	}
+	if ck.Origins != nil {
+		c.Origins = append([]string(nil), ck.Origins...)
+	}
 	return c
+}
+
+// ErrCheckpointDiverged is the Adopt sentinel for a determinism violation:
+// two runs produced different rows for the same batch index. It should be
+// impossible under the localvet-enforced purity contract, which is exactly
+// why a coordinator must fail loudly rather than pick a winner when it
+// happens.
+var ErrCheckpointDiverged = errors.New("harness: checkpoints diverged")
+
+// Adopt merges the other checkpoint's batches into ck, filling holes, and
+// annotates each adopted batch with origin. It returns the indices adopted.
+// Batches present on both sides must be byte-identical — the cluster
+// determinism argument rests on it — and a mismatch returns an error
+// wrapping ErrCheckpointDiverged. Identity mismatches (different
+// experiment, seed or scale) are rejected the same way a Resume would
+// ignore them, but loudly: adopting across identities is a caller bug.
+func (ck *Checkpoint) Adopt(other *Checkpoint, origin string) ([]int, error) {
+	if other == nil {
+		return nil, nil
+	}
+	if ck.Experiment != other.Experiment || ck.Seed != other.Seed || ck.Quick != other.Quick {
+		return nil, fmt.Errorf("harness: adopting checkpoint for %s/%d/quick=%v into %s/%d/quick=%v",
+			other.Experiment, other.Seed, other.Quick, ck.Experiment, ck.Seed, ck.Quick)
+	}
+	if other.TotalBatches > 0 {
+		if ck.TotalBatches > 0 && ck.TotalBatches != other.TotalBatches {
+			return nil, fmt.Errorf("%w: %s total batches %d vs %d",
+				ErrCheckpointDiverged, ck.Experiment, ck.TotalBatches, other.TotalBatches)
+		}
+		ck.TotalBatches = other.TotalBatches
+	}
+	var adopted []int
+	for i, batch := range other.Batches {
+		if batch == nil {
+			continue
+		}
+		for len(ck.Batches) <= i {
+			ck.Batches = append(ck.Batches, nil)
+		}
+		if have := ck.Batches[i]; have != nil {
+			if !batchesEqual(have, batch) {
+				return nil, fmt.Errorf("%w: %s batch %d differs between %q and %q",
+					ErrCheckpointDiverged, ck.Experiment, i, ck.origin(i), origin)
+			}
+			continue
+		}
+		ck.Batches[i] = cloneBatch(batch)
+		ck.setOrigin(i, origin)
+		adopted = append(adopted, i)
+	}
+	return adopted, nil
+}
+
+// origin returns the recorded provenance of batch i ("" when unannotated).
+func (ck *Checkpoint) origin(i int) string {
+	if i < len(ck.Origins) {
+		return ck.Origins[i]
+	}
+	return ""
+}
+
+// setOrigin records the provenance of batch i, growing Origins lazily.
+func (ck *Checkpoint) setOrigin(i int, origin string) {
+	if origin == "" && ck.Origins == nil {
+		return
+	}
+	for len(ck.Origins) < len(ck.Batches) {
+		ck.Origins = append(ck.Origins, "")
+	}
+	ck.Origins[i] = origin
+}
+
+// batchesEqual compares two recorded batches cell by cell.
+func batchesEqual(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Encode marshals the checkpoint as JSON.
@@ -100,6 +247,34 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 // Config.Ctx cancellation; test with errors.Is. The concrete error also
 // unwraps to the context cause (context.Canceled or DeadlineExceeded).
 var ErrSweepInterrupted = errors.New("harness: sweep interrupted between rows")
+
+// ErrShardDone is the sentinel for a sharded sweep (Config.RowSelect set)
+// that has accounted for every Row call. It rides the same panic channel as
+// cancellation — Config.Flush raises it so the driver's cross-row note code
+// never runs over a partial table — and supervision layers classify it as
+// success, not failure: the sweep's product is the checkpoint, not the
+// table.
+var ErrShardDone = errors.New("harness: sharded sweep complete")
+
+// ShardDoneError is panicked by Config.Flush at the end of a sharded sweep.
+// It carries the final sparse checkpoint — every batch index present,
+// computed batches filled, foreign batches nil — with TotalBatches set to
+// the sweep's full batch count, which is how a coordinator learns the
+// sweep's size.
+type ShardDoneError struct {
+	// Experiment is the sharded table's ID.
+	Experiment string
+	// Checkpoint is the completed shard checkpoint (a private clone).
+	Checkpoint *Checkpoint
+}
+
+func (e *ShardDoneError) Error() string {
+	return fmt.Sprintf("harness: %s sharded sweep complete (%d/%d batches computed)",
+		e.Experiment, e.Checkpoint.Computed(), e.Checkpoint.TotalBatches)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *ShardDoneError) Unwrap() error { return ErrShardDone }
 
 // SweepError is panicked by Config.Row when the sweep's context dies. The
 // experiment drivers' established failure mode is panic (they have no error
@@ -130,12 +305,13 @@ func (e *SweepError) Unwrap() []error { return []error{ErrSweepInterrupted, e.Ca
 // sweepState is a Table's in-flight checkpoint bookkeeping, attached by the
 // first cfg.Row call.
 type sweepState struct {
-	ctx     context.Context
-	onBatch func(*Checkpoint)
-	obs     Observer
-	ck      *Checkpoint
+	ctx       context.Context
+	onBatch   func(*Checkpoint)
+	obs       Observer
+	selectRow func(int) bool // Config.RowSelect; nil computes every batch
+	ck        *Checkpoint
 	next      int // index of the next batch to replay, record, or enqueue
-	committed int // batches committed to the table (== next when inline)
+	committed int // batches committed in row-index order (== batch index of the next commit)
 
 	// sched is the speculative row scheduler, non-nil only for Workers > 1
 	// sweeps (see parallel.go).
@@ -148,10 +324,11 @@ func (t *Table) sweepInit(c Config) *sweepState {
 		return t.sweep
 	}
 	s := &sweepState{
-		ctx:     c.Ctx,
-		onBatch: c.OnBatch,
-		obs:     c.Obs,
-		ck:      &Checkpoint{Experiment: t.ID, Seed: c.Seed, Quick: c.Quick},
+		ctx:       c.Ctx,
+		onBatch:   c.OnBatch,
+		obs:       c.Obs,
+		selectRow: c.RowSelect,
+		ck:        &Checkpoint{Experiment: t.ID, Seed: c.Seed, Quick: c.Quick},
 	}
 	if c.Resume.Compatible(t.ID, c) {
 		for _, batch := range c.Resume.Batches {
@@ -163,6 +340,32 @@ func (t *Table) sweepInit(c Config) *sweepState {
 	}
 	t.sweep = s
 	return s
+}
+
+// setBatch records the batch at index i, growing the checkpoint with holes
+// as needed. Commits happen strictly in row-index order, so i only ever
+// lands on a hole or one past the end.
+func (s *sweepState) setBatch(i int, rows [][]string) {
+	for len(s.ck.Batches) <= i {
+		s.ck.Batches = append(s.ck.Batches, nil)
+	}
+	s.ck.Batches[i] = rows
+}
+
+// replayRows appends a recorded batch's rows to the table (cloned: the
+// checkpoint keeps ownership) and advances the commit cursor.
+func (s *sweepState) replayRows(t *Table, rows [][]string) {
+	for _, row := range rows {
+		t.Rows = append(t.Rows, append([]string(nil), row...))
+	}
+	s.committed++
+}
+
+// skipBatch records a hole for a batch this shard does not own and advances
+// the commit cursor. Holes fire no OnBatch — nothing was computed.
+func (s *sweepState) skipBatch(i int) {
+	s.setBatch(i, nil)
+	s.committed++
 }
 
 // Row runs one checkpointable unit of a sweep. If the resumed checkpoint
@@ -188,26 +391,34 @@ func (c Config) Row(t *Table, compute func(t *Table)) {
 	if s.ctx != nil && s.ctx.Err() != nil {
 		s.abort(s.interrupted(t))
 	}
-	if s.next < len(s.ck.Batches) {
-		// Replay. Resume batches are a strict prefix of the sweep, so every
-		// replay lands before the first speculative batch commits and the
-		// table's row order is preserved.
-		for _, row := range s.ck.Batches[s.next] {
-			t.Rows = append(t.Rows, append([]string(nil), row...))
+	i := s.next
+	s.next++
+	switch {
+	case i < len(s.ck.Batches) && s.ck.Batches[i] != nil:
+		// Replay. With a sparse resume checkpoint a replay can follow
+		// enqueued speculative batches, so when speculation is pending the
+		// replay rides the pending queue to keep table rows in row-index
+		// order; otherwise it lands directly.
+		if s.pendingSpec() {
+			s.enqueueDone(&specBatch{kind: batchReplay, rows: s.ck.Batches[i]})
+			return
 		}
-		s.next++
-		s.committed++
-		return
-	}
-	if s.sched == nil {
+		s.replayRows(t, s.ck.Batches[i])
+	case s.selectRow != nil && !s.selectRow(i):
+		// Sharded mode: this batch belongs to another shard. Record a hole
+		// (in order, like every commit) and move on.
+		if s.pendingSpec() {
+			s.enqueueDone(&specBatch{kind: batchSkip})
+			return
+		}
+		s.skipBatch(i)
+	case s.sched == nil:
 		start := len(t.Rows)
 		compute(t)
-		s.next++
 		s.commitBatch(t, nil, cloneBatch(t.Rows[start:]))
-		return
+	default:
+		s.enqueue(t, compute)
 	}
-	s.next++
-	s.enqueue(t, compute)
 }
 
 // Flush commits every outstanding speculative batch of a parallel sweep, in
@@ -216,22 +427,42 @@ func (c Config) Row(t *Table, compute func(t *Table)) {
 // with Workers <= 1 (or no Row calls at all) it is a no-op. Like Row, it
 // aborts with a panicked *SweepError when Config.Ctx dies while batches are
 // still uncommitted.
+//
+// In sharded mode (Config.RowSelect set) Flush does not return: once every
+// batch is committed it panics a *ShardDoneError carrying the final sparse
+// checkpoint, so the driver's cross-row note code — which would read a
+// partial table — never runs. Supervision layers classify the panic as
+// success via errors.Is(err, ErrShardDone).
 func (c Config) Flush(t *Table) {
 	s := t.sweep
-	if s == nil || s.sched == nil {
+	if s != nil && s.sched != nil {
+		s.flush(t)
+	}
+	if c.RowSelect == nil {
 		return
 	}
-	s.flush(t)
+	ck := &Checkpoint{Experiment: t.ID, Seed: c.Seed, Quick: c.Quick}
+	if s != nil {
+		ck = s.ck.Clone()
+	}
+	ck.TotalBatches = len(ck.Batches)
+	panic(&ShardDoneError{Experiment: t.ID, Checkpoint: ck})
 }
 
 // commitBatch appends a freshly computed batch to the table (rows != nil for
 // a speculative batch; nil when the inline path already appended them),
-// records it in the checkpoint, and fires OnBatch.
+// records it in the checkpoint at its row index, and fires OnBatch.
 func (s *sweepState) commitBatch(t *Table, rows [][]string, recorded [][]string) {
 	if rows != nil {
 		t.Rows = append(t.Rows, rows...)
 	}
-	s.ck.Batches = append(s.ck.Batches, recorded)
+	if recorded == nil {
+		// A computed batch that appended no rows is still computed, not a
+		// hole: record it as an empty batch so sparse merges keep the
+		// distinction.
+		recorded = [][]string{}
+	}
+	s.setBatch(s.committed, recorded)
 	s.committed++
 	if s.onBatch != nil {
 		s.onBatch(s.ck)
@@ -265,8 +496,13 @@ func (c Config) ctx() context.Context {
 	return context.Background()
 }
 
-// cloneBatch deep-copies a slice of rows.
+// cloneBatch deep-copies a slice of rows. A nil batch (a sparse-checkpoint
+// hole) clones to nil: holes must survive cloning, or a resumed shard would
+// mistake foreign batches for computed-empty ones.
 func cloneBatch(batch [][]string) [][]string {
+	if batch == nil {
+		return nil
+	}
 	out := make([][]string, len(batch))
 	for i, row := range batch {
 		out[i] = append([]string(nil), row...)

@@ -30,21 +30,39 @@ package harness
 //     its in-order commit slot — after the workers are reaped — so the
 //     (row-index)-first failure surfaces, exactly as it would sequentially.
 //
-// Replayed batches never reach the scheduler: a resume checkpoint is a
-// strict prefix of the sweep, so Row replays it synchronously before the
-// first closure is enqueued.
+// Replayed batches reach the scheduler only when speculation is already
+// pending: with a prefix resume checkpoint Row replays synchronously before
+// the first closure is enqueued, but a sparse checkpoint (sharded sweeps,
+// coordinator merges — see Config.RowSelect) interleaves replays and holes
+// with computes, so those ride the pending queue as pre-finished markers to
+// keep commits in row-index order.
 
 import (
 	"context"
 	"sync"
 )
 
-// specBatch is one speculatively computed row batch: the closure, the
-// private staging table it fills, and the recovered panic value if it
-// failed. done is closed when the worker finishes either way.
+// batchKind distinguishes what a pending slot commits: a speculative
+// compute, a replay of recorded rows, or a hole skipped in sharded mode.
+type batchKind uint8
+
+const (
+	batchCompute batchKind = iota
+	batchReplay
+	batchSkip
+)
+
+// specBatch is one pending row batch. For batchCompute it carries the
+// closure, the private staging table it fills, and the recovered panic
+// value if it failed; done is closed when the worker finishes either way.
+// batchReplay and batchSkip slots are born finished (done pre-closed) and
+// exist only to hold their place in the commit order — rows holds the
+// recorded batch to replay.
 type specBatch struct {
+	kind     batchKind
 	compute  func(*Table)
 	staging  *Table
+	rows     [][]string
 	panicked any
 	done     chan struct{}
 }
@@ -147,6 +165,22 @@ func (sc *rowScheduler) finish() {
 	}
 }
 
+// pendingSpec reports whether speculative batches are awaiting commit — the
+// condition under which replays and skips must queue for ordering instead
+// of landing directly.
+func (s *sweepState) pendingSpec() bool {
+	return s.sched != nil && len(s.sched.pending) > 0
+}
+
+// enqueueDone appends a pre-finished marker batch (replay or skip) to the
+// pending queue. It never touches the workers: the slot exists purely so
+// the batch commits in row-index order behind the speculation ahead of it.
+func (s *sweepState) enqueueDone(sb *specBatch) {
+	sb.done = make(chan struct{})
+	close(sb.done)
+	s.sched.pending = append(s.sched.pending, sb)
+}
+
 // enqueue hands a compute closure to the workers. When the queue is
 // saturated it blocks — committing batches that become ready in the
 // meantime, and aborting if the sweep's context dies.
@@ -223,7 +257,14 @@ func (s *sweepState) commitHead(t *Table) {
 	if sb.panicked != nil {
 		s.abort(sb.panicked)
 	}
-	s.commitBatch(t, sb.staging.Rows, cloneBatch(sb.staging.Rows))
+	switch sb.kind {
+	case batchReplay:
+		s.replayRows(t, sb.rows)
+	case batchSkip:
+		s.skipBatch(s.committed)
+	default:
+		s.commitBatch(t, sb.staging.Rows, cloneBatch(sb.staging.Rows))
+	}
 }
 
 // abort reaps the workers and re-panics v on the driver goroutine. The

@@ -208,8 +208,20 @@ type Config struct {
 	Ctx context.Context
 	// Resume seeds Config.Row replay from a previously recorded
 	// checkpoint. Incompatible checkpoints (different experiment, seed or
-	// scale) are ignored and the sweep starts fresh.
+	// scale) are ignored and the sweep starts fresh. The checkpoint may be
+	// sparse (nil batches are holes, see RowSelect): recorded batches are
+	// replayed, holes are recomputed in place.
 	Resume *Checkpoint
+	// RowSelect, when non-nil, runs the sweep in sharded mode: only batch
+	// indices for which RowSelect returns true are computed; the rest are
+	// recorded as nil holes in the checkpoint (unless Resume already holds
+	// them, in which case they are replayed). A sharded sweep never reaches
+	// the driver's cross-row note code: Config.Flush ends it by panicking a
+	// *ShardDoneError carrying the final sparse checkpoint, which
+	// supervision layers treat as success. Coordinators merge shard
+	// checkpoints with Checkpoint.Adopt and rebuild the full table by
+	// re-running the driver with Resume set to the merged checkpoint.
+	RowSelect func(batch int) bool
 	// OnBatch is invoked after each freshly computed row batch with the
 	// checkpoint accumulated so far, for persistence. The pointee is owned
 	// by the sweep and mutated as it progresses: persist synchronously or

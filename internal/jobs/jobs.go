@@ -58,6 +58,13 @@ type Spec struct {
 	// output: it is deliberately NOT part of the determinism identity, so
 	// checkpoints resume across worker counts.
 	Workers int `json:"workers,omitempty"`
+	// Rows, when non-nil, runs the job as one shard of a cluster sweep: only
+	// the selected row batches are computed, the job's product is its sparse
+	// checkpoint (Pool.Checkpoint) rather than a rendered table, and Output
+	// stays empty on success. Rows IS part of the determinism identity —
+	// different shards record different batches — so checkpoints are keyed
+	// by it.
+	Rows *RowSpec `json:"rows,omitempty"`
 }
 
 // State is a job's lifecycle position. Terminal states are Succeeded,

@@ -17,6 +17,7 @@ type poolMetrics struct {
 	shedFull    *obs.Counter
 	shedDrain   *obs.Counter
 	shedUnknown *obs.Counter
+	shedInvalid *obs.Counter
 	succeeded   *obs.Counter
 	failed      *obs.Counter
 	cancelled   *obs.Counter
@@ -39,6 +40,7 @@ func newPoolMetrics(reg *obs.Registry) poolMetrics {
 		shedFull:    reg.Counter(shedName, shedHelp, "reason", "queue_full"),
 		shedDrain:   reg.Counter(shedName, shedHelp, "reason", "draining"),
 		shedUnknown: reg.Counter(shedName, shedHelp, "reason", "unknown_experiment"),
+		shedInvalid: reg.Counter(shedName, shedHelp, "reason", "invalid_rows"),
 		succeeded:   reg.Counter(doneName, doneHelp, "state", "succeeded"),
 		failed:      reg.Counter(doneName, doneHelp, "state", "failed"),
 		cancelled:   reg.Counter(doneName, doneHelp, "state", "cancelled"),

@@ -89,6 +89,7 @@ type job struct {
 	batchesDone int
 	err         error
 	output      string
+	ck          *harness.Checkpoint // latest snapshot; final sparse ck for sharded jobs
 }
 
 // Pool is a supervised worker pool running experiment sweeps. Create with
@@ -146,6 +147,10 @@ func (p *Pool) Submit(spec Spec) (string, error) {
 	if _, ok := lookup(spec.Experiment); !ok {
 		p.metrics.shedUnknown.Inc()
 		return shed(fmt.Errorf("%w %q", ErrUnknownExperiment, spec.Experiment))
+	}
+	if err := spec.Rows.Validate(); err != nil {
+		p.metrics.shedInvalid.Inc()
+		return shed(err)
 	}
 	if p.draining {
 		p.metrics.shedDrain.Inc()
@@ -297,7 +302,8 @@ func (p *Pool) runJob(j *job) {
 	ck := p.store.load(j.spec)
 	if ck != nil {
 		p.mu.Lock()
-		j.batchesDone = len(ck.Batches)
+		j.batchesDone = ck.Computed()
+		j.ck = ck
 		p.mu.Unlock()
 	}
 
@@ -320,9 +326,11 @@ func (p *Pool) runJob(j *job) {
 		tbl, err := p.attempt(ctx, j, &ck)
 		switch {
 		case err == nil:
-			var buf bytes.Buffer
-			tbl.Render(&buf)
-			table = buf.String()
+			if tbl != nil { // sharded attempts succeed table-less
+				var buf bytes.Buffer
+				tbl.Render(&buf)
+				table = buf.String()
+			}
 			return nil
 		case cancelled(err) || classify(err) == "deadline":
 			permanent = err
@@ -348,7 +356,12 @@ func (p *Pool) runJob(j *job) {
 		j.output = table
 		p.mu.Unlock()
 		p.metrics.terminal(StateSucceeded)
-		p.store.clear(j.spec)
+		// A sharded job's checkpoint IS its product: keep the file so a
+		// resubmitted shard (coordinator retry, restarted worker) replays to
+		// instant completion instead of recomputing.
+		if j.spec.Rows == nil {
+			p.store.clear(j.spec)
+		}
 		return
 	}
 	p.finishLocked(j, final)
@@ -371,22 +384,39 @@ func (p *Pool) finishLocked(j *job, err error) {
 // the value and stack, and the worker lives on. Completed row batches are
 // checkpointed as they land, so whatever ends this attempt, the next one —
 // or a resubmission — resumes where it stopped.
+//
+// A sharded attempt (Spec.Rows set) ends in the harness's *ShardDoneError
+// panic instead of returning a table; that is its success: the final sparse
+// checkpoint — TotalBatches now known — is recorded, persisted, and the
+// attempt reports (nil, nil).
 func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tbl *harness.Table, err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			p.metrics.panics.Inc()
-			je := &JobError{ID: j.id, Experiment: j.spec.Experiment, Value: r, Stack: debug.Stack()}
-			if cause, ok := r.(error); ok {
-				je.Cause = cause
-			}
-			err = je
+		r := recover()
+		if r == nil {
+			return
 		}
+		if done, ok := r.(*harness.ShardDoneError); ok && j.spec.Rows != nil {
+			*ck = done.Checkpoint
+			p.store.save(j.spec, done.Checkpoint)
+			p.mu.Lock()
+			j.ck = done.Checkpoint
+			j.batchesDone = done.Checkpoint.Computed()
+			p.mu.Unlock()
+			tbl, err = nil, nil
+			return
+		}
+		p.metrics.panics.Inc()
+		je := &JobError{ID: j.id, Experiment: j.spec.Experiment, Value: r, Stack: debug.Stack()}
+		if cause, ok := r.(error); ok {
+			je.Cause = cause
+		}
+		err = je
 	}()
 	report, closeReport := p.reportSink(j)
 	defer closeReport()
 	driver, _ := lookup(j.spec.Experiment)
 	cfg := harness.Config{
-		Obs: report,
+		Obs:     report,
 		Quick:   j.spec.Quick,
 		Seed:    j.spec.Seed,
 		Workers: j.spec.Workers,
@@ -397,7 +427,8 @@ func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tb
 			snap := c.Clone()
 			*ck = snap
 			p.mu.Lock()
-			j.batchesDone = len(snap.Batches)
+			j.batchesDone = snap.Computed()
+			j.ck = snap
 			p.mu.Unlock()
 			p.store.save(j.spec, snap)
 			if p.opts.BatchHook != nil {
@@ -405,5 +436,24 @@ func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tb
 			}
 		},
 	}
+	if j.spec.Rows != nil {
+		cfg.RowSelect = j.spec.Rows.Selected
+	}
 	return driver(cfg), nil
+}
+
+// Checkpoint returns the job's latest checkpoint snapshot — updated batch by
+// batch while the job runs, and holding the final sparse checkpoint (with
+// TotalBatches set) once a sharded job succeeds. The second return
+// distinguishes an unknown ID (false) from a known job with no checkpoint
+// yet (nil, true). The returned checkpoint is a shared snapshot the pool no
+// longer mutates; callers must treat it as read-only.
+func (p *Pool) Checkpoint(id string) (*harness.Checkpoint, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.ck, true
 }

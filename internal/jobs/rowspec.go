@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrInvalidRowSpec rejects a Spec whose Rows field is malformed; it is a
+// shed reason, like ErrUnknownExperiment.
+var ErrInvalidRowSpec = errors.New("jobs: invalid row spec")
+
+// RowSpec restricts a job's sweep to a subset of its row batches, turning
+// the job into one shard of a cluster sweep (harness.Config.RowSelect). A
+// sharded job's product is its sparse checkpoint — Output stays empty and
+// the coordinator fetches the checkpoint via Pool.Checkpoint (HTTP: GET
+// /v1/jobs/{id}/checkpoint) and merges shards with harness's Adopt.
+//
+// Selection composes three filters:
+//
+//   - Include, when non-empty, is an explicit batch-index allowlist — the
+//     coordinator's failover currency: a dead shard's missing batches,
+//     partitioned among survivors.
+//   - Otherwise Mod/Keep select the residue class i % Mod == Keep — the
+//     initial assignment, which needs no knowledge of the sweep's batch
+//     count.
+//   - Skip always excludes its indices — batches the coordinator already
+//     holds, so re-dispatched work never recomputes merged rows.
+//
+// The zero RowSpec selects every batch (minus Skip), which is still useful:
+// it runs the full sweep in checkpoint-product mode.
+type RowSpec struct {
+	// Mod and Keep select the residue class i % Mod == Keep. Mod 0 or 1
+	// selects all batches. Ignored when Include is non-empty.
+	Mod  int `json:"mod,omitempty"`
+	Keep int `json:"keep,omitempty"`
+	// Include, when non-empty, selects exactly these batch indices.
+	Include []int `json:"include,omitempty"`
+	// Skip excludes these batch indices regardless of the other filters.
+	Skip []int `json:"skip,omitempty"`
+}
+
+// Validate checks the spec's internal consistency.
+func (r *RowSpec) Validate() error {
+	if r == nil {
+		return nil
+	}
+	if r.Mod < 0 {
+		return fmt.Errorf("%w: mod %d < 0", ErrInvalidRowSpec, r.Mod)
+	}
+	if r.Mod > 1 && (r.Keep < 0 || r.Keep >= r.Mod) {
+		return fmt.Errorf("%w: keep %d outside [0,%d)", ErrInvalidRowSpec, r.Keep, r.Mod)
+	}
+	if r.Mod <= 1 && r.Keep != 0 {
+		return fmt.Errorf("%w: keep %d without mod", ErrInvalidRowSpec, r.Keep)
+	}
+	for _, i := range r.Include {
+		if i < 0 {
+			return fmt.Errorf("%w: include index %d < 0", ErrInvalidRowSpec, i)
+		}
+	}
+	for _, i := range r.Skip {
+		if i < 0 {
+			return fmt.Errorf("%w: skip index %d < 0", ErrInvalidRowSpec, i)
+		}
+	}
+	return nil
+}
+
+// Selected reports whether batch i is this shard's to compute. A nil spec
+// selects everything. Batch counts are small (tens per sweep), so the index
+// lists are scanned linearly.
+func (r *RowSpec) Selected(i int) bool {
+	if r == nil {
+		return true
+	}
+	for _, s := range r.Skip {
+		if s == i {
+			return false
+		}
+	}
+	if len(r.Include) > 0 {
+		for _, inc := range r.Include {
+			if inc == i {
+				return true
+			}
+		}
+		return false
+	}
+	if r.Mod > 1 {
+		return i%r.Mod == r.Keep
+	}
+	return true
+}
+
+// Key renders the spec as a short canonical filesystem-safe string for the
+// checkpoint store: two sharded jobs share a checkpoint file only when they
+// select the same batches.
+func (r *RowSpec) Key() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "m%dk%d", r.Mod, r.Keep)
+	if len(r.Include) > 0 {
+		fmt.Fprintf(&b, "i%s", indexKey(r.Include))
+	}
+	if len(r.Skip) > 0 {
+		fmt.Fprintf(&b, "s%s", indexKey(r.Skip))
+	}
+	return b.String()
+}
+
+// indexKey renders an index list sorted and deduplicated, so order and
+// repetition in the wire form never split checkpoint identity.
+func indexKey(idx []int) string {
+	sorted := append([]int(nil), idx...)
+	sort.Ints(sorted)
+	var parts []string
+	for i, v := range sorted {
+		if i > 0 && v == sorted[i-1] {
+			continue
+		}
+		parts = append(parts, fmt.Sprint(v))
+	}
+	return strings.Join(parts, ".")
+}

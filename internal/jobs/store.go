@@ -18,13 +18,19 @@ type checkpointStore struct {
 	dir string
 }
 
-// path is the checkpoint file for a spec.
+// path is the checkpoint file for a spec. Sharded specs (Spec.Rows) append
+// the row spec's canonical key: shards of the same sweep record different
+// batches, so they must not share a file.
 func (s checkpointStore) path(spec Spec) string {
 	scale := "full"
 	if spec.Quick {
 		scale = "quick"
 	}
-	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x-%s.ckpt.json", spec.Experiment, spec.Seed, scale))
+	name := fmt.Sprintf("%s-%016x-%s", spec.Experiment, spec.Seed, scale)
+	if spec.Rows != nil {
+		name += "-" + spec.Rows.Key()
+	}
+	return filepath.Join(s.dir, name+".ckpt.json")
 }
 
 // load returns the persisted checkpoint for the spec, or nil.

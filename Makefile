@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-kernel race-supervision cluster fuzz-smoke obs bench experiments
+.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments
 
 all: build test
 
@@ -15,11 +15,28 @@ vet:
 
 # Static gate (CI, tier 1): standard go vet plus localvet, the in-repo
 # multichecker that enforces the LOCAL-model determinism & purity contract
-# (see DESIGN.md, "Model purity & static enforcement"). Exits non-zero on
-# any finding.
+# (see DESIGN.md, "Model purity & static enforcement" and §11). Runs against
+# the committed baseline: grandfathered findings are tolerated while they
+# burn down, anything new exits non-zero.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/localvet ./...
+	$(GO) run ./cmd/localvet -baseline .localvet-baseline.json ./...
+
+# Changed-package lint for the edit loop: runs localvet only on packages
+# whose files differ from origin's main (falling back to HEAD for a detached
+# or just-cloned tree). The module-wide call graph is still built from the
+# targets' dependency cone, so interprocedural chains stay visible.
+lint-fast:
+	@base=$$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse HEAD); \
+	dirs=$$(git diff --name-only $$base -- '*.go' | xargs -r -n1 dirname | sort -u \
+	        | while read d; do [ -d "$$d" ] && echo "./$$d"; done); \
+	if [ -z "$$dirs" ]; then echo "lint-fast: no changed Go packages"; \
+	else echo "lint-fast: $$dirs"; $(GO) run ./cmd/localvet -baseline .localvet-baseline.json $$dirs; fi
+
+# SARIF artifact for CI code-scanning upload and PR annotation.
+lint-sarif:
+	$(GO) run ./cmd/localvet -baseline .localvet-baseline.json -format sarif ./... > localvet.sarif; \
+	code=$$?; [ $$code -le 1 ] && exit 0 || exit $$code
 
 # Full-module race gate: every package under the race detector. The
 # goroutine-per-node kernel packages are the likeliest offenders, but

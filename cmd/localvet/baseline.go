@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The baseline is the grandfathering mechanism: a committed multiset of
+// known findings that CI tolerates while they are burned down. Keys are
+// (analyzer, file, message) — deliberately excluding line numbers, so
+// unrelated edits that shift a grandfathered finding do not break the
+// build, while any *new* finding (or a new duplicate of an old one) fails
+// immediately. Entries that no longer match anything are reported as stale
+// so the file only ever shrinks.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineKey is the identity grandfathering matches on.
+type baselineKey struct {
+	Analyzer, File, Message string
+}
+
+// loadBaseline reads and validates a baseline file.
+func loadBaseline(path string) (map[baselineKey]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, bf.Version)
+	}
+	counts := make(map[baselineKey]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		counts[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	return counts, nil
+}
+
+// writeBaseline persists the findings as a fresh baseline multiset.
+func writeBaseline(path string, fs []Finding) error {
+	counts := map[baselineKey]int{}
+	for _, f := range fs {
+		counts[baselineKey{f.Analyzer, f.File, f.Message}]++
+	}
+	entries := make([]baselineEntry, 0, len(counts))
+	for k, n := range counts {
+		entries = append(entries, baselineEntry{Analyzer: k.Analyzer, File: k.File, Message: k.Message, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Version: 1, Findings: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline splits findings into new (kept) and grandfathered
+// (suppressed), and returns the stale baseline entries nothing matched.
+func applyBaseline(fs []Finding, counts map[baselineKey]int) (fresh []Finding, suppressed int, stale []baselineEntry) {
+	remaining := make(map[baselineKey]int, len(counts))
+	for k, n := range counts {
+		remaining[k] = n
+	}
+	for _, f := range fs {
+		k := baselineKey{f.Analyzer, f.File, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, n := range remaining {
+		if n > 0 {
+			stale = append(stale, baselineEntry{Analyzer: k.Analyzer, File: k.File, Message: k.Message, Count: n})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return fresh, suppressed, stale
+}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -34,17 +36,129 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run -list exited %d", code)
 	}
-	for _, name := range []string{"norawrand", "nowallclock", "nomapiter", "errsentinel", "phasedisc"} {
+	for _, name := range []string{
+		"norawrand", "nowallclock", "nomapiter", "errsentinel", "phasedisc",
+		"obsinert", "nondetflow", "goroutinedisc", "mutexhold", "ctxflow",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Fatalf("-list output missing %q:\n%s", name, stdout.String())
 		}
 	}
 }
 
-// TestRunUnknownAnalyzer checks the usage-error path.
+// TestRunUnknownAnalyzer checks the usage-error path: exit 2, every unknown
+// name reported, and the valid names listed so the caller need not run
+// -list separately.
 func TestRunUnknownAnalyzer(t *testing.T) {
 	var stdout, stderr strings.Builder
-	if code := run([]string{"-only", "nope"}, &stdout, &stderr); code != 2 {
-		t.Fatalf("run exited %d for an unknown analyzer, want 2", code)
+	if code := run([]string{"-only", "nope,alsonope,mutexhold"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run exited %d for unknown analyzers, want 2", code)
+	}
+	for _, want := range []string{`"nope"`, `"alsonope"`, "valid:", "nondetflow", "ctxflow"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("unknown-analyzer error missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestRunBadFormat checks -format validation.
+func TestRunBadFormat(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-format", "xml"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run exited %d for unknown format, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown format") {
+		t.Fatalf("expected a format error, got:\n%s", stderr.String())
+	}
+}
+
+// TestRunJSON checks the machine-readable output: a JSON array of findings
+// with analyzer, module-relative file, position and message.
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-only", "norawrand", "-format", "json",
+		"../../internal/analysis/testdata/src/norawrand"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var fs []Finding
+	if err := json.Unmarshal([]byte(stdout.String()), &fs); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, stdout.String())
+	}
+	if len(fs) == 0 {
+		t.Fatal("expected findings in JSON output")
+	}
+	f := fs[0]
+	if f.Analyzer != "norawrand" || f.Line == 0 ||
+		!strings.HasPrefix(f.File, "internal/analysis/testdata/src/norawrand/") {
+		t.Fatalf("unexpected finding shape: %+v", f)
+	}
+}
+
+// TestRunSARIF checks the SARIF envelope: version 2.1.0, a rule per
+// configured analyzer, one result per finding.
+func TestRunSARIF(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-only", "norawrand", "-format", "sarif",
+		"../../internal/analysis/testdata/src/norawrand"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout.String()), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "localvet" || len(run0.Tool.Driver.Rules) != 1 {
+		t.Fatalf("unexpected SARIF tool: %+v", run0.Tool.Driver)
+	}
+	if len(run0.Results) == 0 || run0.Results[0].RuleID != "norawrand" {
+		t.Fatalf("unexpected SARIF results: %+v", run0.Results)
+	}
+}
+
+// TestRunBaseline exercises the grandfathering round-trip: -write-baseline
+// captures the fixture's findings, a second run against that baseline is
+// clean (exit 0), and a baseline entry matching nothing is reported stale.
+func TestRunBaseline(t *testing.T) {
+	dir := t.TempDir()
+	bl := filepath.Join(dir, "baseline.json")
+	fixture := "../../internal/analysis/testdata/src/norawrand"
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "norawrand", "-baseline", bl, "-write-baseline", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exited %d\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "norawrand", "-baseline", bl, fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exited %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.String() != "" {
+		t.Fatalf("grandfathered findings still printed:\n%s", stdout.String())
+	}
+
+	// A clean package against the same baseline: nothing matches, so every
+	// entry is stale — reported, but not a failure.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "norawrand", "-baseline", bl, "../../internal/rng"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("stale-baseline run exited %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry") {
+		t.Fatalf("expected stale-entry warnings, got:\n%s", stderr.String())
+	}
+}
+
+// TestWriteBaselineRequiresPath checks the flag dependency.
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-write-baseline"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run exited %d, want 2", code)
 	}
 }

@@ -61,8 +61,40 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the module-wide call graph over every package the driver
+	// loaded (callgraph.go). Interprocedural analyzers (nondetflow,
+	// mutexhold, ctxflow) require it; intraprocedural ones ignore it.
+	Prog *Program
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+}
+
+// progPkg returns the Prog node package matching this pass, or nil.
+func (p *Pass) progPkg() *Package {
+	if p.Prog == nil {
+		return nil
+	}
+	for _, n := range p.Prog.order {
+		if n.Pkg.Types == p.Pkg {
+			return n.Pkg
+		}
+	}
+	return nil
+}
+
+// funcNodes returns the Prog nodes declared in this pass's package, in
+// source order.
+func (p *Pass) funcNodes() []*FuncNode {
+	if p.Prog == nil {
+		return nil
+	}
+	var out []*FuncNode
+	for _, n := range p.Prog.order {
+		if n.Pkg.Types == p.Pkg {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Reportf reports a formatted diagnostic at pos.

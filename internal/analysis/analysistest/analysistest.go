@@ -53,6 +53,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("analysistest: loading %s: %v", pkg, err)
 			continue
 		}
+		// The call graph spans everything the fixture pulled in, so
+		// interprocedural analyzers see cross-package helper bodies.
+		prog := analysis.BuildProgram(loader.Loaded())
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -60,6 +63,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			Files:     p.Files,
 			Pkg:       p.Types,
 			TypesInfo: p.Info,
+			Prog:      prog,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"locality/internal/analysis"
+	"locality/internal/analysis/analysistest"
+)
+
+func TestGoroutineDisc(t *testing.T) {
+	a := analysis.NewGoroutineDisc(analysis.GoroutineDiscOptions{})
+	analysistest.Run(t, analysistest.TestData(), a, "goroutinedisc")
+}
+
+func TestGoroutineDiscAllowed(t *testing.T) {
+	// A justified package allowance covers the pool pattern's spawns.
+	a := analysis.NewGoroutineDisc(analysis.GoroutineDiscOptions{
+		Allow: []analysis.GoAllowance{
+			{Package: "goroutinediscallowed", Reason: "fixture: WaitGroup-reaped fan-out"},
+		},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "goroutinediscallowed")
+}
+
+func TestGoroutineDiscStale(t *testing.T) {
+	// Allowances are live entries: a package or file that no longer spawns
+	// makes its allowance stale, and a missing justification is itself a
+	// finding.
+	a := analysis.NewGoroutineDisc(analysis.GoroutineDiscOptions{
+		Allow: []analysis.GoAllowance{
+			{Package: "goroutinediscstale", Reason: ""},
+			{File: "goroutinediscstale/b.go", Reason: "fixture: once spawned a reaper"},
+		},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "goroutinediscstale")
+}

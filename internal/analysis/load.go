@@ -126,6 +126,22 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	return p, nil
 }
 
+// Loaded returns every package this loader has finished loading (module
+// packages and testdata trees alike; the standard library goes through the
+// source importer and is never represented here), sorted by import path.
+// Drivers feed this to BuildProgram after loading everything they analyze,
+// so the call graph sees the bodies of cross-package helpers.
+func (l *Loader) Loaded() []*Package {
+	var out []*Package
+	for _, p := range l.pkgs {
+		if p != inProgress {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // dirOf maps an import path to a source directory.
 func (l *Loader) dirOf(path string) (string, error) {
 	if path == l.ModulePath {

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"locality/internal/analysis"
+	"locality/internal/analysis/analysistest"
+)
+
+func TestMutexHold(t *testing.T) {
+	a := analysis.NewMutexHold(analysis.MutexHoldOptions{
+		Exemptions: []analysis.FuncExemption{
+			{Func: "mutexhold.(*R).Sanctioned", Kind: "mutexhold", Reason: "fixture: single-consumer queue, reader never takes mu"},
+			{Func: "mutexhold.(*R).NoLock", Kind: "mutexhold", Reason: "fixture: stale, lock was removed"},
+		},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "mutexhold")
+}

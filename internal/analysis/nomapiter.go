@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -51,34 +52,63 @@ func NewNoMapIter(opt NoMapIterOptions) *Analyzer {
 // scope is the whole declaration, so a closure may collect and the enclosing
 // function may sort (or vice versa) without a false positive.
 func checkFuncMapIter(pass *Pass, fd *ast.FuncDecl) {
-	sorted := sortedObjects(pass, fd.Body)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	for _, f := range unsortedMapAppendFindings(pass.TypesInfo, fd.Body) {
+		pass.Reportf(f.pos, "range over map appends to %q in nondeterministic "+
+			"order; sort the slice (sort.Slice / sort.Ints) before it can reach "+
+			"a message, output label, or returned value", f.target)
+	}
+}
+
+// mapIterFinding is one unsorted map-range append: the range position and
+// the slice it fills.
+type mapIterFinding struct {
+	pos    token.Pos
+	target string
+}
+
+// unsortedMapAppendFindings is the shared shape heuristic behind both the
+// intraprocedural nomapiter analyzer and the taint engine's mapiter
+// sources: map-range loops in body that append to a slice the body never
+// sorts.
+func unsortedMapAppendFindings(info *types.Info, body *ast.BlockStmt) []mapIterFinding {
+	var out []mapIterFinding
+	sorted := sortedObjects(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
 		}
-		tv, ok := pass.TypesInfo.Types[rs.X]
+		tv, ok := info.Types[rs.X]
 		if !ok {
 			return true
 		}
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		for _, target := range appendTargets(pass, rs.Body) {
+		for _, target := range appendTargets(info, rs.Body) {
 			if sorted[target] {
 				continue
 			}
-			pass.Reportf(rs.Pos(), "range over map appends to %q in nondeterministic "+
-				"order; sort the slice (sort.Slice / sort.Ints) before it can reach "+
-				"a message, output label, or returned value", target.Name())
+			out = append(out, mapIterFinding{pos: rs.Pos(), target: target.Name()})
 		}
 		return true
 	})
+	return out
+}
+
+// unsortedMapAppends returns just the range positions of
+// unsortedMapAppendFindings, for the call-graph source collector.
+func unsortedMapAppends(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	for _, f := range unsortedMapAppendFindings(info, body) {
+		out = append(out, f.pos)
+	}
+	return out
 }
 
 // appendTargets returns the objects of identifiers assigned from append(...)
 // calls inside body (s = append(s, ...) and s := append(s, ...)).
-func appendTargets(pass *Pass, body *ast.BlockStmt) []types.Object {
+func appendTargets(info *types.Info, body *ast.BlockStmt) []types.Object {
 	var targets []types.Object
 	seen := map[types.Object]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -88,7 +118,7 @@ func appendTargets(pass *Pass, body *ast.BlockStmt) []types.Object {
 		}
 		for i, rhs := range as.Rhs {
 			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-			if !ok || !isBuiltinAppend(pass.TypesInfo, call) {
+			if !ok || !isBuiltinAppend(info, call) {
 				continue
 			}
 			if i >= len(as.Lhs) {
@@ -98,7 +128,7 @@ func appendTargets(pass *Pass, body *ast.BlockStmt) []types.Object {
 			if !ok {
 				continue
 			}
-			obj := pass.TypesInfo.ObjectOf(id)
+			obj := info.ObjectOf(id)
 			if obj != nil && !seen[obj] {
 				seen[obj] = true
 				targets = append(targets, obj)
@@ -122,14 +152,14 @@ func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 // sortedObjects collects every object that appears inside an argument of a
 // call into package sort or slices anywhere in body — the "this slice gets
 // sorted" evidence that discharges a map-range append.
-func sortedObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+func sortedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
 	out := map[types.Object]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		fn := calleeFunc(pass.TypesInfo, call)
+		fn := calleeFunc(info, call)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -139,7 +169,7 @@ func sortedObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
 		for _, arg := range call.Args {
 			ast.Inspect(arg, func(m ast.Node) bool {
 				if id, ok := m.(*ast.Ident); ok {
-					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if obj := info.ObjectOf(id); obj != nil {
 						out[obj] = true
 					}
 				}

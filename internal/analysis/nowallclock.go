@@ -1,6 +1,9 @@
 package analysis
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/token"
+)
 
 // clockFuncs are the package time functions that read or depend on the wall
 // clock (or the process scheduler). Using time.Duration values — e.g. the
@@ -25,10 +28,17 @@ type NoWallClockOptions struct {
 	// whose drain deadlines and backoff waits are wall-clock by nature.
 	AllowPackages []string
 	// AllowFiles lists slash-separated file path suffixes exempt from the
-	// check — for a package with exactly one sanctioned clock consumer
-	// (harness/retry.go's backoff wait), leaving the rest of the package
-	// under the ban.
+	// check — for a package with exactly one sanctioned clock consumer,
+	// leaving the rest of the package under the ban.
 	AllowFiles []string
+	// AllowFuncs lists import-path-qualified function names
+	// ("locality/internal/harness.waitAttempt") exempt from the check —
+	// the narrowest carve-out, shared with nondetflow's wallclock
+	// exemption table so the intraprocedural leaf check and the
+	// interprocedural reachability check sanction exactly the same code.
+	// Requires a driver that supplies Pass.Prog; without a call graph the
+	// entries are ignored.
+	AllowFuncs []string
 }
 
 // NewNoWallClock returns the nowallclock analyzer: model code must not read
@@ -43,9 +53,25 @@ func NewNoWallClock(opt NoWallClockOptions) *Analyzer {
 		Doc: "forbid time.Now/Since/Sleep and friends in model code; logical time " +
 			"is the round number, and only the sim deadline machinery may consult the clock",
 	}
+	allowFunc := map[string]bool{}
+	for _, f := range opt.AllowFuncs {
+		allowFunc[f] = true
+	}
 	a.Run = func(pass *Pass) error {
 		if pkgAllowed(pass, opt.AllowPackages) {
 			return nil
+		}
+		// Positions inside an exempted function (including its closures).
+		inAllowed := func(pos token.Pos) bool {
+			if len(allowFunc) == 0 || pass.Prog == nil {
+				return false
+			}
+			for _, n := range pass.funcNodes() {
+				if allowFunc[n.QualifiedName()] && n.Decl.Pos() <= pos && pos <= n.Decl.End() {
+					return true
+				}
+			}
+			return false
 		}
 		for _, f := range pass.Files {
 			if fileAllowed(pass, f.Pos(), opt.AllowFiles) {
@@ -60,7 +86,7 @@ func NewNoWallClock(opt NoWallClockOptions) *Analyzer {
 				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
 					return true
 				}
-				if pass.InTestFile(call.Pos()) {
+				if pass.InTestFile(call.Pos()) || inAllowed(call.Pos()) {
 					return true
 				}
 				pass.Reportf(call.Pos(), "call of time.%s in model code: the LOCAL model's "+

@@ -1,0 +1,29 @@
+package ctxflow
+
+import "context"
+
+// ReaperLoop is the sanctioned detached-cleanup idiom: it receives a
+// Context for request-scoped work but deliberately mints a root for the
+// reaper it hands off; the test carries a justified "background" exemption,
+// so it is accepted.
+func ReaperLoop(ctx context.Context) context.Context {
+	return context.Background()
+}
+
+// ReaperFixed was remediated to WithoutCancel but the test still carries
+// its "background" exemption — stale, reported at the declaration.
+func ReaperFixed(ctx context.Context) context.Context { // want `stale exemption: ctxflow\.ReaperFixed no longer calls context\.Background/TODO`
+	return context.WithoutCancel(ctx)
+}
+
+// FireAndForget is exempted "noctx": it may call blocking no-Context
+// callees — accepted.
+func FireAndForget(ctx context.Context, ch chan int) int {
+	return Wait(ch)
+}
+
+// NoCtxAnymore lost its Context parameter; both of its exemptions in the
+// test are dead entries.
+func NoCtxAnymore(ch chan int) int { // want `stale exemption: ctxflow\.NoCtxAnymore has no context\.Context parameter`
+	return len(ch)
+}

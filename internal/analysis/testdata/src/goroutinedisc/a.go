@@ -1,0 +1,23 @@
+// Package goroutinedisc is the fixture for the goroutinedisc analyzer:
+// bare go statements are flagged, synchronous helpers and test files are
+// accepted.
+package goroutinedisc
+
+// FireAndForget spawns an unreaped goroutine — flagged: nothing joins it,
+// nothing bounds it.
+func FireAndForget(work func()) {
+	go work() // want `go statement outside the sanctioned concurrency sites`
+}
+
+// Nested spawns inside a closure — still flagged: the go statement is what
+// matters, not its nesting.
+func Nested(work func()) func() {
+	return func() {
+		go work() // want `go statement outside the sanctioned concurrency sites`
+	}
+}
+
+// Sequential is accepted: calling the helper synchronously spawns nothing.
+func Sequential(work func()) {
+	work()
+}

@@ -1,0 +1,12 @@
+package goroutinedisc
+
+// spawnForTest documents the test-file exemption: tests may use goroutines
+// (timeout guards, concurrent exercise) freely.
+func spawnForTest(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}

@@ -1,0 +1,21 @@
+// Package goroutinediscallowed stands in for a sanctioned concurrency site
+// (the internal/jobs worker-pool pattern): a package allowance with a
+// justification covers its go statements, and the reaping discipline is the
+// justification.
+package goroutinediscallowed
+
+import "sync"
+
+// Fan runs work on n goroutines and joins them all — accepted under the
+// package allowance.
+func Fan(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,10 @@
+// Package goroutinediscstale exercises allowance verification: the test
+// grants this package (and file b.go) goroutine allowances, but nothing
+// here spawns — both entries are stale and must be reported, so the
+// allowance table cannot outlive the concurrency it once described.
+package goroutinediscstale // want `stale goroutine allowance: package goroutinediscstale contains no go statement` `goroutine allowance for package goroutinediscstale has no justification`
+
+// Calm does everything synchronously.
+func Calm(work func()) {
+	work()
+}

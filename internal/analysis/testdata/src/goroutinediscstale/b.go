@@ -1,0 +1,6 @@
+package goroutinediscstale // want `stale goroutine allowance: file goroutinediscstale/b\.go contains no go statement`
+
+// AlsoCalm spawns nothing either; the file allowance pointing here is dead.
+func AlsoCalm() int {
+	return 1
+}

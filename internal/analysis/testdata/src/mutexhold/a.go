@@ -1,0 +1,100 @@
+// Package mutexhold is the fixture for the mutexhold analyzer: operations
+// that can park the goroutine while a mutex is held are flagged — including
+// calls that only block transitively — while lock-then-release sequencing
+// and the select-with-default idiom are accepted.
+package mutexhold
+
+import (
+	"sync"
+	"time"
+)
+
+// Q is a locked queue with a notification channel.
+type Q struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items []int
+	ch    chan int
+}
+
+// SendLocked sends on a channel while holding mu — flagged: if the reader
+// needs mu the program is wedged.
+func (q *Q) SendLocked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send while holding q\.mu \(held since a\.go:23\)`
+}
+
+// SendAfterUnlock releases first — accepted.
+func (q *Q) SendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// TrySend uses select-with-default under the lock — accepted: the send
+// cannot park.
+func (q *Q) TrySend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitLocked parks in a bare select while holding the read lock — flagged.
+func (q *Q) WaitLocked() int {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	select { // want `blocking select while holding q\.rw \(held since a\.go:51\)`
+	case v := <-q.ch:
+		return v
+	}
+}
+
+// SleepLocked sleeps while holding mu — flagged.
+func (q *Q) SleepLocked() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call of time\.Sleep while holding q\.mu`
+	q.mu.Unlock()
+}
+
+// drain blocks on a receive; it exists so CallLocked's violation is only
+// visible transitively.
+func (q *Q) drain() int {
+	return <-q.ch
+}
+
+// CallLocked calls a helper that blocks two hops down — flagged at the call
+// site with the provenance chain.
+func (q *Q) CallLocked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drain() // want `call of mutexhold\.\(\*Q\)\.drain \(mutexhold\.\(\*Q\)\.drain -> channel receive \(a\.go:69\)\) while holding q\.mu`
+}
+
+// BranchLock locks only inside the branch; the receive after the branch
+// runs unlocked — accepted (branch-local regions do not leak out).
+func (q *Q) BranchLock(cond bool) int {
+	if cond {
+		q.mu.Lock()
+		q.items = nil
+		q.mu.Unlock()
+	}
+	return <-q.ch
+}
+
+// SpawnLocked starts a goroutine while holding mu — accepted by this
+// analyzer: the spawn returns immediately, and the literal's body runs with
+// its own lock context (goroutinedisc polices the spawn itself).
+func (q *Q) SpawnLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- 1
+	}()
+}

@@ -1,0 +1,23 @@
+package mutexhold
+
+import "sync"
+
+// R exercises the exemption table.
+type R struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Sanctioned blocks under its lock but carries a justified "mutexhold"
+// exemption in the test — accepted.
+func (r *R) Sanctioned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return <-r.ch
+}
+
+// NoLock is exempted in the test but acquires nothing — the entry is stale
+// and must be reported before it can sanction a future lock.
+func (r *R) NoLock() int { // want `stale exemption: mutexhold\.\(\*R\)\.NoLock acquires no mutex`
+	return <-r.ch
+}

@@ -1,0 +1,50 @@
+// Package nondetflow is the fixture for the nondetflow analyzer: taint
+// reaching a nondeterminism source through any number of calls — including
+// cross-package ones — is reported at the taint root with full provenance,
+// while pure call chains and flows through exempt packages are accepted.
+package nondetflow
+
+import (
+	"sort"
+	"time"
+
+	"nondetflowdep"
+	"nondetflowexempt"
+)
+
+// Entry is the taint root of a two-hop wallclock chain: Entry -> helper ->
+// time.Now. Only Entry is reported; helper is an interior node.
+func Entry() time.Duration { // want `nondeterminism \(wallclock\) reachable from nondetflow\.Entry: nondetflow\.Entry -> nondetflow\.helper -> time\.Now`
+	return helper()
+}
+
+func helper() time.Duration {
+	return time.Duration(time.Now().UnixNano())
+}
+
+// CrossPkg launders a clock read through another package: the chain crosses
+// the package boundary and still ends at the leaf.
+func CrossPkg() int64 { // want `nondeterminism \(wallclock\) reachable from nondetflow\.CrossPkg: nondetflow\.CrossPkg -> nondetflowdep\.Stamp -> time\.Now`
+	return nondetflowdep.Stamp()
+}
+
+// Spawn reaches a bare go statement through a helper.
+func Spawn() { // want `nondeterminism \(goroutine\) reachable from nondetflow\.Spawn`
+	spawnHelper()
+}
+
+func spawnHelper() {
+	go func() {}()
+}
+
+// ViaExempt calls into an exempt package: the taint is absorbed at the
+// boundary, so ViaExempt is accepted.
+func ViaExempt() int64 {
+	return nondetflowexempt.Stamp()
+}
+
+// Pure is accepted: sorting is deterministic, no source is reachable.
+func Pure(xs []int) []int {
+	sort.Ints(xs)
+	return xs
+}

@@ -1,0 +1,9 @@
+package nondetflow
+
+import "time"
+
+// Test declarations may reach sources freely: taint never escapes a
+// _test.go file, and test-only roots are not reported.
+func pollForTest() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Package nondetflowdep is a helper dependency for the nondetflow fixture:
+// it hides a clock read behind an exported function so the analyzer must
+// follow a cross-package edge to find it.
+package nondetflowdep
+
+import "time"
+
+// Stamp reads the wall clock. Reported in nondetflowdep's own pass; for the
+// importing fixture it is the interior of a cross-package chain.
+func Stamp() int64 { // want `nondeterminism \(wallclock\) reachable from nondetflowdep\.Stamp: nondetflowdep\.Stamp -> time\.Now \(dep\.go:11\)`
+	return time.Now().UnixNano()
+}

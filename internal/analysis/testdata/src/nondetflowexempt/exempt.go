@@ -1,0 +1,12 @@
+// Package nondetflowexempt stands in for the supervision tier: listed in
+// ExemptPackages, its clock reads are neither reported nor propagated to
+// importing domain code.
+package nondetflowexempt
+
+import "time"
+
+// Stamp reads the wall clock — accepted: the package is exempt, and the
+// exemption is a taint barrier for callers.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

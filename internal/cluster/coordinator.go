@@ -227,7 +227,7 @@ func (c *Coordinator) Run(ctx context.Context, spec jobs.Spec) (*Result, error) 
 			done, err := c.poll(ctx, a, merged, res)
 			switch {
 			case errors.Is(err, harness.ErrCheckpointDiverged):
-				c.cancelAll(active)
+				c.cancelAll(ctx, active)
 				return res, err
 			case err != nil:
 				c.event(res, a.shard.shard.Name, "failover", err.Error())
@@ -246,7 +246,7 @@ func (c *Coordinator) Run(ctx context.Context, spec jobs.Spec) (*Result, error) 
 		}
 		active = still
 		if merged.Complete() {
-			c.cancelAll(active)
+			c.cancelAll(ctx, active)
 			break
 		}
 	}
@@ -385,12 +385,15 @@ func (c *Coordinator) nextHealthy() *shardState {
 
 // cancelAll best-effort cancels outstanding assignments (used when the
 // merge completes from partial checkpoints before every job reports done).
-func (c *Coordinator) cancelAll(active []*assignment) {
+// The cancel RPCs derive from ctx via WithoutCancel: they carry its values
+// but deliberately outlive its cancellation — a sweep abandoned by the
+// caller still tells the shards to stop, bounded by the request timeout.
+func (c *Coordinator) cancelAll(ctx context.Context, active []*assignment) {
 	for _, a := range active {
 		if a.jobID == "" {
 			continue
 		}
-		cctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.opts.RequestTimeout)
 		_ = a.shard.client.Cancel(cctx, a.jobID)
 		cancel()
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments
+.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments load
 
 all: build test
 
@@ -73,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzGenerateTree -fuzztime=5s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzLCLCheck -fuzztime=5s ./internal/lcl
 	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/fault
+	$(GO) test -run='^$$' -fuzz=FuzzIdentityKey -fuzztime=5s ./internal/jobs
 
 # Observability gate (CI, tier 1): the telemetry layer's inertness contract
 # (DESIGN.md §9). localvet's obsinert analyzer proves hot paths never consume
@@ -93,6 +94,17 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 	$(GO) run ./cmd/localbench -bench-json
 	$(GO) run ./cmd/localbench -quick -run-report RUNREPORT.jsonl > /dev/null
+
+# Multi-tenant load gate (CI): the fairness e2e under the race detector,
+# then the full out-of-process workload — build a localityd, spawn it with
+# a two-tenant quota file, run the seeded localload phases (solo, contended,
+# duplicate, stream, SIGTERM chaos-drain), gate the fairness ratio and the
+# bucket-quantized p99s against the lexically latest LOAD_*.json baseline
+# in loadbaseline/, and write this run's artifact next to it (DESIGN.md §12).
+load:
+	$(GO) test -race -count=1 -run 'TestMultiTenantFairnessE2E' -v ./cmd/localityd
+	$(GO) build -o /tmp/localityd-load ./cmd/localityd
+	$(GO) run ./cmd/localload -spawn -localityd-bin /tmp/localityd-load -artifact-dir loadbaseline
 
 # Regenerate the full-scale EXPERIMENTS.md tables (takes minutes).
 experiments:

@@ -23,6 +23,7 @@ import (
 	"locality/internal/cluster"
 	"locality/internal/jobs"
 	"locality/internal/obs"
+	"locality/internal/tenant"
 )
 
 // clusterJob is one cluster sweep's lifecycle record. Snapshots returned
@@ -39,6 +40,12 @@ type clusterJob struct {
 	Output string `json:"output,omitempty"`
 	// Result carries the failover audit trail and batch accounting.
 	Result *cluster.Result `json:"result,omitempty"`
+
+	// tenantKey is the submitting caller's raw API key, forwarded to the
+	// worker shards (cluster.WithTenant) so per-tenant quotas and metrics
+	// follow the job across the cluster. Unexported: the raw key must never
+	// appear in API snapshots or reports.
+	tenantKey string
 }
 
 // clusterServer fronts one Coordinator. A Coordinator runs one sweep at a
@@ -95,9 +102,8 @@ func (s *clusterServer) handler(requestTimeout time.Duration, maxInflight int) h
 		draining := s.draining
 		s.mu.Unlock()
 		if draining {
-			w.Header().Set("Retry-After", retryAfterDraining)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-				Error: "draining", Reason: "draining"})
+			writeRetryable(w, http.StatusServiceUnavailable, jobs.ErrDraining,
+				errorResponse{Error: "draining", Reason: "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -133,12 +139,16 @@ func (s *clusterServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", retryAfterDraining)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-			Error: "coordinator draining", Reason: "draining"})
+		writeRetryable(w, http.StatusServiceUnavailable, jobs.ErrDraining,
+			errorResponse{Error: "coordinator draining", Reason: "draining"})
 		return
 	}
-	cj := &clusterJob{ID: fmt.Sprintf("cjob-%d", s.seq), Spec: spec, State: jobs.StateQueued}
+	cj := &clusterJob{
+		ID:        fmt.Sprintf("cjob-%d", s.seq),
+		Spec:      spec,
+		State:     jobs.StateQueued,
+		tenantKey: r.Header.Get(tenant.Header),
+	}
 	select {
 	case s.queue <- cj:
 		s.seq++
@@ -148,9 +158,11 @@ func (s *clusterServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		qlen, qcap := len(s.queue), cap(s.queue)
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", retryAfterShed)
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{
-			Error: "cluster queue full", Reason: "queue_full", QueueLen: qlen, QueueCap: qcap})
+		// The coordinator runs sweeps one at a time: Workers 1 makes the
+		// occupancy-derived Retry-After read "qlen sweeps ahead of you".
+		shedErr := &jobs.ShedError{Reason: jobs.ErrQueueFull, QueueLen: qlen, QueueCap: qcap, Workers: 1}
+		writeRetryable(w, http.StatusTooManyRequests, shedErr,
+			errorResponse{Error: "cluster queue full", Reason: "queue_full", QueueLen: qlen, QueueCap: qcap})
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+cj.ID)
@@ -217,7 +229,9 @@ func (s *clusterServer) runner() {
 }
 
 func (s *clusterServer) runOne(cj *clusterJob) {
-	ctx, cancel := context.WithCancel(context.Background())
+	// The submitter's API key rides the context into every shard call, so
+	// workers account the sweep's row batches to the right tenant.
+	ctx, cancel := context.WithCancel(cluster.WithTenant(context.Background(), cj.tenantKey))
 	defer cancel()
 	s.mu.Lock()
 	if cj.State != jobs.StateQueued { // cancelled while queued, or draining

@@ -8,16 +8,25 @@
 //	POST   /v1/jobs                 submit a job; 202 with the job ID, 429/503 when shed
 //	GET    /v1/jobs                 list all jobs
 //	GET    /v1/jobs/{id}            job snapshot (state, progress, result table)
+//	GET    /v1/jobs/{id}/events     Server-Sent Events progress stream (see sse.go)
 //	GET    /v1/jobs/{id}/checkpoint job state + latest checkpoint snapshot
 //	DELETE /v1/jobs/{id}            request cancellation
 //	GET    /healthz                 liveness (200 while the process serves)
 //	GET    /readyz                  readiness (503 once draining)
-//	GET    /metrics                 Prometheus text exposition (pool + HTTP metrics)
+//	GET    /metrics                 Prometheus text exposition (pool + HTTP + tenant metrics)
 //
-// Every retryable rejection (429 queue-full, 503 draining or overloaded)
-// carries a Retry-After header and a structured JSON body, so clients —
-// the cluster coordinator included — can back off with intent instead of
-// guessing.
+// Callers identify as tenants via the X-API-Key header (anonymous when
+// absent). With -tenants-file, each tenant is admitted under its own quotas
+// — submit rate, queued and in-flight caps, stream cap — and dispatched by
+// weighted round-robin fair share, so one flooding tenant cannot starve the
+// rest. With -idempotent (the default), duplicate submissions of the same
+// determinism identity return the existing job instead of recomputing.
+//
+// Every retryable rejection (429 rate/quota/queue, 503 draining or
+// overloaded) carries a Retry-After header derived from what the server
+// knows — token-bucket refill deficit, queue drain estimate — and a
+// structured JSON body, so clients (the cluster coordinator included) can
+// back off with intent instead of guessing. See retry.go.
 //
 // With -coordinator the same binary becomes a cluster front-end instead:
 // submissions are sharded across a static membership of worker localityd
@@ -38,6 +47,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strconv"
 	"sync/atomic"
@@ -48,6 +58,7 @@ import (
 	"locality/internal/harness"
 	"locality/internal/jobs"
 	"locality/internal/obs"
+	"locality/internal/tenant"
 )
 
 // submitRequest is the POST /v1/jobs body.
@@ -68,9 +79,12 @@ type submitRequest struct {
 // errorResponse is every non-2xx JSON body.
 type errorResponse struct {
 	Error string `json:"error"`
-	// Reason is the stable classification ("queue_full", "draining",
-	// "unknown_experiment", ...), when one applies.
+	// Reason is the stable classification ("queue_full", "rate_limited",
+	// "draining", "unknown_experiment", ...), when one applies.
 	Reason string `json:"reason,omitempty"`
+	// Tenant is the rejected tenant's public ID on per-tenant sheds (never
+	// the raw API key).
+	Tenant string `json:"tenant,omitempty"`
 	// QueueLen/QueueCap report shed-time queue occupancy.
 	QueueLen int `json:"queue_len,omitempty"`
 	QueueCap int `json:"queue_cap,omitempty"`
@@ -112,15 +126,21 @@ func (s *server) handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() || s.pool.Draining() {
-			w.Header().Set("Retry-After", retryAfterDraining)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-				Error: "draining", Reason: "draining"})
+			writeRetryable(w, http.StatusServiceUnavailable, jobs.ErrDraining,
+				errorResponse{Error: "draining", Reason: "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.lim.wrap(mux)
+
+	// The events stream mounts outside the limiter (see sse.go): the outer
+	// mux's more-specific pattern wins over the catch-all that fronts every
+	// other route with the concurrency cap and per-request deadline.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleEvents))
+	outer.Handle("/", s.lim.wrap(mux))
+	return outer
 }
 
 // statusWriter captures the response status for the request counter.
@@ -133,6 +153,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces (the SSE handler needs Flush) through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps one route with a latency histogram and a per-status
 // request counter. Routes are named explicitly (not from the request path)
@@ -175,6 +199,11 @@ type limiter struct {
 	rejected *obs.Counter
 }
 
+// errOverloaded is the limiter's rejection reason. It matches no queue or
+// tenant sentinel, so its Retry-After falls to the 1s floor: concurrency
+// slots turn over per request, much faster than the job queue drains.
+var errOverloaded = errors.New("too many concurrent requests")
+
 func newLimiter(maxInflight int, requestTimeout time.Duration, reg *obs.Registry) *limiter {
 	if maxInflight <= 0 {
 		maxInflight = 64
@@ -193,9 +222,8 @@ func (l *limiter) wrap(next http.Handler) http.Handler {
 			defer func() { <-l.inflight }()
 		default:
 			l.rejected.Inc()
-			w.Header().Set("Retry-After", retryAfterShed)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-				Error: "too many concurrent requests", Reason: "overloaded"})
+			writeRetryable(w, http.StatusServiceUnavailable, errOverloaded,
+				errorResponse{Error: errOverloaded.Error(), Reason: "overloaded"})
 			return
 		}
 		if l.timeout > 0 {
@@ -215,7 +243,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("decoding request: %v", err), Reason: "bad_request"})
 		return
 	}
-	id, err := s.pool.Submit(jobs.Spec{
+	res, err := s.pool.SubmitTenant(r.Header.Get(tenant.Header), jobs.Spec{
 		Experiment: req.Experiment,
 		Quick:      req.Quick,
 		Seed:       req.Seed,
@@ -225,14 +253,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status := shedStatus(err)
-		if after := retryAfter(status); after != "" {
-			w.Header().Set("Retry-After", after)
+		if retryableStatus(status) {
+			writeRetryable(w, status, err, shedResponse(err))
+			return
 		}
 		writeJSON(w, status, shedResponse(err))
 		return
 	}
-	w.Header().Set("Location", "/v1/jobs/"+id)
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	w.Header().Set("Location", "/v1/jobs/"+res.ID)
+	writeJSON(w, http.StatusAccepted, res)
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -273,64 +302,6 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
-}
-
-// Retry-After values (delay-seconds) for retryable rejections. A full
-// queue clears as fast as one job finishes; a draining instance needs a
-// redeploy, so clients should wait longer before trying it again.
-const (
-	retryAfterShed     = "1"
-	retryAfterDraining = "5"
-)
-
-// retryAfter yields the Retry-After value for a rejection status, empty for
-// statuses a client should not retry.
-func retryAfter(status int) string {
-	switch status {
-	case http.StatusTooManyRequests:
-		return retryAfterShed
-	case http.StatusServiceUnavailable:
-		return retryAfterDraining
-	default:
-		return ""
-	}
-}
-
-// shedStatus maps a rejected submission to its HTTP status: client errors
-// are 400, a full queue is 429 (retryable by the same client later), and a
-// draining pool is 503 (route elsewhere).
-func shedStatus(err error) int {
-	switch {
-	case errors.Is(err, jobs.ErrUnknownExperiment),
-		errors.Is(err, jobs.ErrInvalidRowSpec):
-		return http.StatusBadRequest
-	case errors.Is(err, jobs.ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, jobs.ErrDraining):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// shedResponse renders the structured rejection.
-func shedResponse(err error) errorResponse {
-	resp := errorResponse{Error: err.Error()}
-	switch {
-	case errors.Is(err, jobs.ErrUnknownExperiment):
-		resp.Reason = "unknown_experiment"
-	case errors.Is(err, jobs.ErrInvalidRowSpec):
-		resp.Reason = "invalid_rows"
-	case errors.Is(err, jobs.ErrQueueFull):
-		resp.Reason = "queue_full"
-	case errors.Is(err, jobs.ErrDraining):
-		resp.Reason = "draining"
-	}
-	var shed *jobs.ShedError
-	if errors.As(err, &shed) {
-		resp.QueueLen, resp.QueueCap = shed.QueueLen, shed.QueueCap
-	}
-	return resp
 }
 
 // drain is the graceful-shutdown sequence: readiness flips first (load
@@ -374,6 +345,8 @@ func main() {
 		maxInflight    = flag.Int("max-inflight", 64, "concurrent request limit (excess rejected 503)")
 		pprofAddr      = flag.String("pprof-addr", "", "opt-in net/http/pprof listen address (empty = disabled)")
 		reportDir      = flag.String("report-dir", "", "directory for per-job JSONL run reports (empty = disabled)")
+		tenantsFile    = flag.String("tenants-file", "", "JSON tenant config: default quotas, pinned tenants keyed by API key (empty = permissive)")
+		idempotent     = flag.Bool("idempotent", true, "dedup submissions by determinism identity (duplicates return the existing job)")
 	)
 	flag.Parse()
 	if *coordinator {
@@ -407,6 +380,10 @@ func main() {
 	if *shardsFlag != "" || *membershipFile != "" {
 		log.Fatal("localityd: -shards/-membership-file require -coordinator")
 	}
+	tcfg, err := loadTenants(*tenantsFile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := run(*addr, jobs.Options{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
@@ -414,9 +391,30 @@ func main() {
 		RetryBudget:   *retryBudget,
 		Backoff:       harness.Backoff{Base: *retryBase, Max: *retryMax, Seed: *backoffSeed},
 		ReportDir:     *reportDir,
+		Tenancy:       tcfg,
+		Idempotent:    *idempotent,
 	}, *drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// loadTenants reads the -tenants-file JSON (a tenant.Config: default
+// limits, optional max_tenants, pinned tenants with per-tenant quotas).
+// Empty path means permissive defaults — every caller admitted subject only
+// to the global queue bound.
+func loadTenants(path string) (*tenant.Config, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("localityd: tenants file: %w", err)
+	}
+	var cfg tenant.Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("localityd: tenants file %s: %w", path, err)
+	}
+	return &cfg, nil
 }
 
 // run resolves the listen address; serve owns the lifecycle.
@@ -501,7 +499,18 @@ func serveUntilSignal(ln net.Listener, h http.Handler, pprofAddr, name string, d
 	if err := drain(drainCtx); err != nil {
 		log.Printf("%s: %v (remaining progress checkpointed)", name, err)
 	}
-	if err := srv.Shutdown(drainCtx); err != nil {
+	// A deadline-hit drain consumes the whole budget force-cancelling jobs —
+	// which is what releases long-lived handlers (the SSE streams) to finish
+	// their final writes. Connection teardown then needs its own brief grace,
+	// or an exhausted drain context turns every forced drain into a spurious
+	// shutdown error.
+	shutCtx := drainCtx
+	if drainCtx.Err() != nil {
+		var shutCancel context.CancelFunc
+		shutCtx, shutCancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer shutCancel()
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("%s: shutdown: %w", name, err)
 	}
 	log.Printf("%s: drained", name)

@@ -1,0 +1,108 @@
+// Server-Sent Events: GET /v1/jobs/{id}/events streams a job's lifecycle —
+// an orienting snapshot, one progress event per committed row batch, and a
+// guaranteed terminal event — over the pool's subscription hooks
+// (jobs.Pool.Subscribe). The route deliberately lives OUTSIDE the limiter:
+// a stream is long-lived by design, so the per-request timeout would sever
+// it and the inflight cap would let streams starve the API. Per-tenant
+// MaxStreams quotas bound it instead, and a drain closes every stream
+// cleanly after its terminal event (the drain-race guarantee the e2e tests
+// pin down).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"locality/internal/jobs"
+	"locality/internal/tenant"
+)
+
+// sseBuffer is the per-subscription event buffer. Progress events are
+// droppable (the Seq field exposes gaps), so a slow client loses
+// intermediate progress, never the terminal event.
+const sseBuffer = 32
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sub, err := s.pool.Subscribe(r.Header.Get(tenant.Header), id, sseBuffer)
+	if err != nil {
+		if errors.Is(err, jobs.ErrUnknownJob) {
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				Error: "unknown job", Reason: "not_found"})
+			return
+		}
+		// Stream-cap and tenant rejections carry the same structured body
+		// and Retry-After discipline as submit sheds.
+		status := shedStatus(err)
+		if retryableStatus(status) {
+			writeRetryable(w, status, err, shedResponse(err))
+			return
+		}
+		writeJSON(w, status, shedResponse(err))
+		return
+	}
+	defer s.pool.Unsubscribe(sub)
+
+	// ResponseController reaches Flush through the instrumentation wrapper
+	// (statusWriter.Unwrap). A non-streaming writer fails the first flush.
+	rc := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	// The opening snapshot orients the client: late subscribers see the
+	// current state without replaying history.
+	if j, ok := s.pool.Get(id); ok {
+		writeSSE(w, "snapshot", j)
+	}
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	for {
+		select {
+		case ev := <-sub.Events():
+			writeSSE(w, sseEventName(ev), ev)
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-sub.Done():
+			// Termination signalled; drain any events buffered behind it so
+			// the terminal event always reaches the wire, then close.
+			for {
+				select {
+				case ev := <-sub.Events():
+					writeSSE(w, sseEventName(ev), ev)
+				default:
+					_ = rc.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return // client went away
+		}
+	}
+}
+
+func sseEventName(ev jobs.Event) string {
+	if ev.Terminal {
+		return "terminal"
+	}
+	return "progress"
+}
+
+// writeSSE frames one event. The payloads are JSON-encoded structs with no
+// string fields containing newlines, so the single data: line framing is
+// safe.
+func writeSSE(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

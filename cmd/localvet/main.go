@@ -85,11 +85,14 @@ func wallclockAllowFuncs() []string {
 //   - leafExemptions (above) holds every function that may touch a
 //     nondeterminism source; everything reachable above those leaves is
 //     machine-checked clean by nondetflow.
-//   - internal/jobs, internal/cluster, cmd/localityd and cmd/localbench may
-//     read the clock: the supervision layer's job deadlines, drain grace
-//     periods, request timeouts and bench timings are wall-clock by nature.
+//   - internal/jobs, internal/cluster, internal/load, cmd/localityd,
+//     cmd/localbench and cmd/localload may read the clock: the supervision
+//     layer's job deadlines, drain grace periods, request timeouts, bench
+//     timings and load-test latency observations are wall-clock by nature.
 //     Experiment results stay deterministic — the clock only bounds
-//     *whether* a sweep finishes, never what it computes.
+//     *whether* a sweep finishes, never what it computes. (The load
+//     engine's *workload* is still seed-deterministic; only its measured
+//     latencies are clock reads, confined to internal/load/leaves.go.)
 //   - the same supervision tier (plus internal/obs and the analysis
 //     framework itself) is outside nondetflow's domain: its clock reads and
 //     goroutines are its whole job, and taint crossing its boundary is
@@ -110,8 +113,10 @@ func contractAnalyzers() []*analysis.Analyzer {
 	supervision := []string{
 		"locality/internal/jobs",
 		"locality/internal/cluster",
+		"locality/internal/load",
 		"locality/cmd/localityd",
 		"locality/cmd/localbench",
+		"locality/cmd/localload",
 	}
 	return []*analysis.Analyzer{
 		analysis.NewNoRawRand(analysis.NoRawRandOptions{}),
@@ -138,8 +143,10 @@ func contractAnalyzers() []*analysis.Analyzer {
 				"locality/internal/cluster",
 				"locality/internal/obs",
 				"locality/internal/analysis",
+				"locality/internal/load",
 				"locality/cmd/localityd",
 				"locality/cmd/localbench",
+				"locality/cmd/localload",
 				"locality/cmd/localvet",
 			},
 			Exemptions: leafExemptions,
@@ -158,6 +165,10 @@ func contractAnalyzers() []*analysis.Analyzer {
 					Reason: "HTTP serve loop and signal watcher, reaped on shutdown"},
 				{File: "cmd/localityd/cluster.go",
 					Reason: "cluster runner goroutine, reaped via runnerDone on drain"},
+				{File: "internal/load/leaves.go",
+					Reason: "the load engine's only spawn site, joined unconditionally by spawnClients"},
+				{File: "cmd/localload/main.go",
+					Reason: "spawned-daemon stderr drain (reaped at process exit) and Wait watcher (reaped by select)"},
 			},
 		}),
 		analysis.NewMutexHold(analysis.MutexHoldOptions{}),

@@ -13,6 +13,7 @@ import (
 
 	"locality/internal/harness"
 	"locality/internal/jobs"
+	"locality/internal/tenant"
 )
 
 // ErrShardUnavailable classifies a client call that exhausted its retry
@@ -200,6 +201,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if key := TenantFrom(ctx); key != "" {
+		req.Header.Set(tenant.Header, key)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

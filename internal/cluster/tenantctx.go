@@ -1,0 +1,24 @@
+package cluster
+
+import "context"
+
+// tenantCtxKey keys the submitting tenant's API key in a request context.
+type tenantCtxKey struct{}
+
+// WithTenant attaches a tenant API key to the context. Every shard call the
+// Client issues under this context carries the key in the tenant header, so
+// a coordinator-fronted sweep is accounted — quotas, fair share, metrics —
+// to the tenant that submitted it, on every worker it touches. An empty key
+// is a no-op (the request runs as the anonymous tenant shard-side).
+func WithTenant(ctx context.Context, apiKey string) context.Context {
+	if apiKey == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantCtxKey{}, apiKey)
+}
+
+// TenantFrom recovers the API key attached by WithTenant ("" when absent).
+func TenantFrom(ctx context.Context) string {
+	key, _ := ctx.Value(tenantCtxKey{}).(string)
+	return key
+}

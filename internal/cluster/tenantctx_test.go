@@ -1,0 +1,57 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"locality/internal/cluster"
+	"locality/internal/tenant"
+)
+
+// TestClientForwardsTenantHeader: an API key attached with WithTenant rides
+// every shard call as the tenant header, so worker-side quotas and metrics
+// account coordinator-fronted work to the submitting tenant. Without the
+// key, the header is absent and the shard treats the call as anonymous.
+func TestClientForwardsTenantHeader(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get(tenant.Header))
+		mu.Unlock()
+		writeJSON(rw, http.StatusAccepted, map[string]string{"id": "job-0"})
+	}))
+	defer srv.Close()
+
+	c := &cluster.Client{Shard: cluster.Shard{Name: "a", URL: srv.URL}}
+	ctx := cluster.WithTenant(context.Background(), "tenant-key")
+	if _, err := c.Submit(ctx, cluster.SubmitRequest{Experiment: "E8", Quick: true}); err != nil {
+		t.Fatalf("submit with tenant: %v", err)
+	}
+	if _, err := c.Submit(context.Background(), cluster.SubmitRequest{Experiment: "E8", Quick: true}); err != nil {
+		t.Fatalf("submit anonymous: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 || keys[0] != "tenant-key" || keys[1] != "" {
+		t.Errorf("shard saw tenant headers %q, want [tenant-key, empty]", keys)
+	}
+}
+
+// TestTenantContextRoundTrip pins the context helpers' contract.
+func TestTenantContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := cluster.TenantFrom(ctx); got != "" {
+		t.Errorf("empty context yields %q", got)
+	}
+	if cluster.WithTenant(ctx, "") != ctx {
+		t.Error("empty key should be a context no-op")
+	}
+	if got := cluster.TenantFrom(cluster.WithTenant(ctx, "k")); got != "k" {
+		t.Errorf("round trip yields %q, want k", got)
+	}
+}

@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"fmt"
+
+	"locality/internal/tenant"
+)
+
+// Event is one progress notification on a job's event stream: emitted when
+// the job starts running, after every freshly committed row batch, and once
+// more — with Terminal set — when the job reaches a terminal state.
+type Event struct {
+	// JobID names the job the event describes.
+	JobID string `json:"job_id"`
+	// Seq increases by one per event published for the job, so a consumer
+	// can detect dropped progress events (a slow subscriber's buffer sheds
+	// intermediate events rather than stalling the pool; the terminal event
+	// is never lost because Done closes regardless).
+	Seq uint64 `json:"seq"`
+	// State is the job's lifecycle position when the event was published.
+	State State `json:"state"`
+	// BatchesDone and Attempts mirror the snapshot fields of Job.
+	BatchesDone int `json:"batches_done"`
+	Attempts    int `json:"attempts"`
+	// Terminal marks the final event of the stream.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// Subscription is one live event stream over a job, created by
+// Pool.Subscribe and released by Pool.Unsubscribe. The pool publishes into
+// Events without ever blocking — when the buffer is full, intermediate
+// progress events are dropped (Seq exposes the gaps) — and closes Done when
+// the job reaches a terminal state, including cancellation during pool
+// drain. After Done the subscriber reads the authoritative final snapshot
+// from Pool.Get.
+type Subscription struct {
+	events chan Event
+	done   chan struct{}
+	jobID  string
+	ten    *tenant.Tenant
+	// released guards double-release of the tenant's stream slot; pool mutex.
+	released bool
+}
+
+// Events is the buffered progress channel. The pool never closes it; wait
+// on Done for termination.
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// Done is closed when the job reaches a terminal state (or already had,
+// at subscription time).
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// JobID returns the subscribed job's ID.
+func (s *Subscription) JobID() string { return s.jobID }
+
+// Subscribe opens an event stream over a job on behalf of the tenant owning
+// apiKey, charging the tenant's concurrent-stream quota. buf bounds the
+// progress buffer (<=0 selects a default of 16). Rejections are structured:
+// ErrUnknownJob for an ID the pool never issued, a *tenant.LimitError
+// (tenant.ErrStreamLimit, tenant.ErrExhausted) for quota rejections.
+//
+// A subscription on a job that is already terminal succeeds with Done
+// already closed — the caller observes the terminal state immediately.
+func (p *Pool) Subscribe(apiKey, id string, buf int) (*Subscription, error) {
+	if buf <= 0 {
+		buf = 16
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	ten, err := p.tenants.Lookup(apiKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.tenants.AcquireStream(ten); err != nil {
+		p.metrics.tenantShed(ten, err)
+		return nil, err
+	}
+	p.metrics.streamOpened(ten)
+	sub := &Subscription{
+		events: make(chan Event, buf),
+		done:   make(chan struct{}),
+		jobID:  id,
+		ten:    ten,
+	}
+	if j.state.Terminal() {
+		close(sub.done)
+		return sub, nil
+	}
+	j.subs = append(j.subs, sub)
+	return sub, nil
+}
+
+// Unsubscribe releases the subscription's stream slot and detaches it from
+// the job. Safe to call after the job terminated, and idempotent.
+func (p *Pool) Unsubscribe(sub *Subscription) {
+	if sub == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sub.released {
+		return
+	}
+	sub.released = true
+	p.tenants.ReleaseStream(sub.ten)
+	j, ok := p.jobs[sub.jobID]
+	if !ok {
+		return
+	}
+	for i, s := range j.subs {
+		if s == sub {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// publishLocked fans one progress event out to every subscriber without
+// blocking: a full buffer drops the event (Seq exposes the gap). Callers
+// hold the pool mutex.
+func (j *job) publishLocked() {
+	if len(j.subs) == 0 {
+		return
+	}
+	j.eventSeq++
+	ev := Event{
+		JobID:       j.id,
+		Seq:         j.eventSeq,
+		State:       j.state,
+		BatchesDone: j.batchesDone,
+		Attempts:    j.attempts,
+	}
+	for _, s := range j.subs {
+		select {
+		case s.events <- ev:
+		default:
+		}
+	}
+}
+
+// takeSubsLocked emits the terminal event to every subscriber and detaches
+// them from the job; the caller must pass the returned subscriptions to
+// closeSubs after releasing the pool mutex. The terminal event itself is
+// best-effort like any other (a full buffer drops it), but closing Done is
+// not — every subscriber observes termination.
+func (j *job) takeSubsLocked() []*Subscription {
+	subs := j.subs
+	if len(subs) == 0 {
+		return nil
+	}
+	j.subs = nil
+	j.eventSeq++
+	ev := Event{
+		JobID:       j.id,
+		Seq:         j.eventSeq,
+		State:       j.state,
+		BatchesDone: j.batchesDone,
+		Attempts:    j.attempts,
+		Terminal:    true,
+	}
+	for _, s := range subs {
+		select {
+		case s.events <- ev:
+		default:
+		}
+	}
+	return subs
+}
+
+// closeSubs closes the Done channels of detached subscriptions. Runs
+// outside the pool mutex.
+func closeSubs(subs []*Subscription) {
+	for _, s := range subs {
+		close(s.done)
+	}
+}

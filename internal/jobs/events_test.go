@@ -1,0 +1,222 @@
+package jobs_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"locality/internal/harness"
+	"locality/internal/jobs"
+	"locality/internal/tenant"
+)
+
+// collect drains a subscription until Done, returning every event received
+// (including any buffered behind the terminal notification).
+func collect(t *testing.T, sub *jobs.Subscription) []jobs.Event {
+	t.Helper()
+	var events []jobs.Event
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev := <-sub.Events():
+			events = append(events, ev)
+		case <-sub.Done():
+			for {
+				select {
+				case ev := <-sub.Events():
+					events = append(events, ev)
+					continue
+				default:
+				}
+				return events
+			}
+		case <-deadline:
+			t.Fatal("subscription never terminated")
+		}
+	}
+}
+
+// TestEventsStreamProgressAndTerminal: a subscriber sees monotone sequence
+// numbers, batch progress, and a guaranteed termination signal.
+func TestEventsStreamProgressAndTerminal(t *testing.T) {
+	subscribed := make(chan struct{})
+	var once sync.Once
+	p := jobs.New(jobs.Options{
+		Workers: 1,
+		BatchHook: func(string, *harness.Checkpoint) {
+			<-subscribed // hold the first batch until the stream is open
+		},
+	})
+	defer closePool(t, p)
+
+	res, err := p.SubmitTenant("", jobs.Spec{Experiment: "E12", Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := p.Subscribe("", res.ID, 64)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer p.Unsubscribe(sub)
+	once.Do(func() { close(subscribed) })
+
+	events := collect(t, sub)
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	var lastSeq uint64
+	progress := 0
+	for _, ev := range events {
+		if ev.JobID != res.ID {
+			t.Fatalf("event for wrong job: %+v", ev)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("sequence not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if !ev.Terminal && ev.BatchesDone > 0 {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Error("no batch progress events observed")
+	}
+	last := events[len(events)-1]
+	if !last.Terminal || last.State != jobs.StateSucceeded {
+		t.Errorf("final event not terminal-succeeded: %+v", last)
+	}
+	if j, _ := p.Get(res.ID); j.State != jobs.StateSucceeded {
+		t.Errorf("snapshot disagrees with stream: %s", j.State)
+	}
+}
+
+// TestSubscribeTerminalJob: subscribing after the job finished succeeds
+// with Done already closed — no waiting, no lost termination.
+func TestSubscribeTerminalJob(t *testing.T) {
+	p := jobs.New(jobs.Options{Workers: 1})
+	defer closePool(t, p)
+	id, err := p.Submit(jobs.Spec{Experiment: "E8", Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, p, id)
+	sub, err := p.Subscribe("", id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unsubscribe(sub)
+	select {
+	case <-sub.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed for a terminal job")
+	}
+}
+
+// TestSubscribeUnknownJob rejects with the job sentinel.
+func TestSubscribeUnknownJob(t *testing.T) {
+	p := jobs.New(jobs.Options{})
+	defer closePool(t, p)
+	if _, err := p.Subscribe("", "job-404", 4); !errors.Is(err, jobs.ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestStreamCapPerTenant: the concurrent-stream quota rejects structurally,
+// and Unsubscribe releases the slot.
+func TestStreamCapPerTenant(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	p := jobs.New(jobs.Options{
+		Workers: 1,
+		Tenancy: &tenant.Config{Defaults: tenant.Limits{MaxStreams: 1}},
+		BatchHook: func(string, *harness.Checkpoint) {
+			<-gate
+		},
+	})
+	defer func() {
+		once.Do(func() { close(gate) })
+		closePool(t, p)
+	}()
+
+	res, err := p.SubmitTenant("k", jobs.Spec{Experiment: "E8", Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := p.Subscribe("k", res.ID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Subscribe("k", res.ID, 4)
+	var le *tenant.LimitError
+	if !errors.As(err, &le) || !errors.Is(err, tenant.ErrStreamLimit) {
+		t.Fatalf("second stream: err = %v, want *LimitError wrapping ErrStreamLimit", err)
+	}
+	// Another tenant's slot is independent.
+	other, err := p.Subscribe("k2", res.ID, 4)
+	if err != nil {
+		t.Fatalf("other tenant's stream rejected: %v", err)
+	}
+	p.Unsubscribe(other)
+	// Releasing frees the slot; double-release must not free someone else's.
+	p.Unsubscribe(sub)
+	p.Unsubscribe(sub)
+	sub2, err := p.Subscribe("k", res.ID, 4)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	_, err = p.Subscribe("k", res.ID, 4)
+	if !errors.Is(err, tenant.ErrStreamLimit) {
+		t.Fatalf("cap gone after re-acquire: %v", err)
+	}
+	p.Unsubscribe(sub2)
+	once.Do(func() { close(gate) })
+}
+
+// TestDrainClosesSubscriptions is the drain-race guarantee at the pool
+// layer: a stream over a job that is force-cancelled by the drain deadline
+// still observes a terminal event and a closed Done.
+func TestDrainClosesSubscriptions(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := jobs.New(jobs.Options{
+		Workers: 1,
+		BatchHook: func(string, *harness.Checkpoint) {
+			time.Sleep(20 * time.Millisecond) // slow the job so the drain deadline bites
+		},
+	})
+	res, err := p.SubmitTenant("", jobs.Spec{Experiment: "E12", Quick: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := p.Subscribe("", res.ID, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); err == nil {
+		t.Log("job drained before the deadline; terminal path still verified")
+	}
+	select {
+	case <-sub.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not close the subscription")
+	}
+	events := collect(t, sub)
+	if len(events) == 0 {
+		t.Fatal("no terminal event on drain")
+	}
+	last := events[len(events)-1]
+	if !last.Terminal {
+		t.Errorf("last event not terminal: %+v", last)
+	}
+	j, _ := p.Get(res.ID)
+	if !j.State.Terminal() {
+		t.Errorf("job not terminal after drain: %s", j.State)
+	}
+	p.Unsubscribe(sub)
+	checkGoroutines(t, before)
+}

@@ -1,0 +1,30 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// IdentitySchema versions the identity hash's input encoding. Bump it when
+// the encoding below (or the semantics of any encoded field) changes, so
+// idempotency keys from older processes can never alias new submissions.
+const IdentitySchema = "locality-job-identity/v1"
+
+// IdentityKey hashes the job's determinism identity — the exact fields the
+// checkpoint store keys on: experiment, scale, seed, and row selection,
+// under the schema version. Two specs share a key if and only if they are
+// guaranteed to produce byte-identical output, which is what makes the key
+// safe as an idempotency token: a duplicate submission can be answered with
+// the existing job because the work it would do is literally the same.
+//
+// Timeout and Workers are deliberately excluded: they change whether and
+// how fast a job finishes, never what it computes (see Spec).
+func (s Spec) IdentityKey() string {
+	h := sha256.New()
+	// Length-prefix the only free-form field so no crafted experiment name
+	// can shift the field boundaries of the encoding.
+	fmt.Fprintf(h, "%s\x00%d:%s\x00%t\x00%016x\x00%s",
+		IdentitySchema, len(s.Experiment), s.Experiment, s.Quick, s.Seed, s.Rows.Key())
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -88,6 +88,8 @@ func (s State) Terminal() bool {
 type Job struct {
 	ID   string `json:"id"`
 	Spec Spec   `json:"spec"`
+	// Tenant is the admitting tenant's public ID (never the raw API key).
+	Tenant string `json:"tenant,omitempty"`
 	// State is the lifecycle position at snapshot time.
 	State State `json:"state"`
 	// Attempts counts retry attempts started (1 on an untroubled run).
@@ -119,14 +121,18 @@ var (
 )
 
 // ShedError is a rejected submission: load shedding made explicit. It wraps
-// the reason sentinel (ErrQueueFull, ErrDraining, ErrUnknownExperiment) and
-// records the queue state at rejection time.
+// the reason sentinel (ErrQueueFull, ErrDraining, ErrUnknownExperiment, or a
+// *tenant.LimitError for per-tenant quota rejections) and records the queue
+// state at rejection time, so clients can derive a proportional backoff.
 type ShedError struct {
 	// Reason is the sentinel explaining the rejection.
 	Reason error
 	// QueueLen and QueueCap are the submission queue's occupancy and
 	// capacity when the submission was shed.
 	QueueLen, QueueCap int
+	// Workers is the pool's concurrency — the queue's drain rate
+	// denominator, for occupancy-proportional Retry-After estimates.
+	Workers int
 }
 
 func (e *ShedError) Error() string {

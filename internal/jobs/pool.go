@@ -7,14 +7,16 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"locality/internal/harness"
 	"locality/internal/obs"
 	"locality/internal/rng"
+	"locality/internal/tenant"
 )
 
 // Options configures a Pool. The zero value is usable: 2 workers, a queue
-// of 16, no persistence, no retry.
+// of 16, no persistence, no retry, single-tenant, no dedup.
 type Options struct {
 	// Workers is the number of concurrent job runners (default 2).
 	Workers int
@@ -43,14 +45,29 @@ type Options struct {
 	BatchHook func(id string, ck *harness.Checkpoint)
 	// Metrics, when non-nil, receives the pool's counters and gauges
 	// (submissions, sheds by reason, terminal states, retries, panics,
-	// batches, queue depth, running jobs). Nil disables instrumentation at
-	// zero cost.
+	// batches, queue depth, running jobs, per-tenant admissions). Nil
+	// disables instrumentation at zero cost.
 	Metrics *obs.Registry
 	// ReportDir, when non-empty, writes one JSONL run report per job
 	// (<id>.report.jsonl) capturing the sweep's round- and batch-level
 	// telemetry. Like checkpoint persistence, report I/O failures never fail
 	// a job.
 	ReportDir string
+	// Tenancy, when non-nil, configures multi-tenant admission: per-tenant
+	// quotas, bounded tenant retention, and weighted round-robin fair
+	// dequeue (see internal/tenant). Nil runs the registry with permissive
+	// defaults — every caller is admitted subject only to the global queue
+	// bound, and unkeyed callers share the anonymous tenant.
+	Tenancy *tenant.Config
+	// Idempotent dedups submissions by determinism identity: a submit whose
+	// Spec.IdentityKey matches a queued, running or succeeded job returns
+	// that job (SubmitResult.Deduped) instead of enqueueing work. Failed
+	// and cancelled jobs do not dedup — resubmitting one recomputes.
+	Idempotent bool
+
+	// nowNanos overrides the monotonic clock feeding the tenant registry's
+	// token buckets. Tests only; nil uses the process monotonic clock.
+	nowNanos func() int64
 }
 
 func (o Options) workers() int {
@@ -77,11 +94,12 @@ func (o Options) retryBudget() int {
 // job is the pool-private mutable record behind a Job snapshot. All fields
 // after the immutables are guarded by the pool mutex.
 type job struct {
-	id   string
-	spec Spec
-	num  int // submission order, for List
+	id       string
+	spec     Spec
+	num      int    // submission order, for List
+	tenantID string // admitting tenant's public ID
 
-	ctx    context.Context    // cancelled by Cancel, Close, or pool teardown
+	ctx    context.Context // cancelled by Cancel, Close, or pool teardown
 	cancel context.CancelFunc
 
 	state       State
@@ -90,15 +108,25 @@ type job struct {
 	err         error
 	output      string
 	ck          *harness.Checkpoint // latest snapshot; final sparse ck for sharded jobs
+	subs        []*Subscription     // live event streams
+	eventSeq    uint64
 }
 
 // Pool is a supervised worker pool running experiment sweeps. Create with
-// New, submit with Submit, shut down with Close.
+// New, submit with Submit or SubmitTenant, shut down with Close.
 type Pool struct {
 	opts    Options
 	store   checkpointStore
 	metrics poolMetrics
-	queue   chan *job
+	// wake carries one token per queued job: Submit deposits a token after
+	// a successful tenant-registry enqueue, each worker withdraws one and
+	// dequeues the next job under weighted round-robin. Capacity equals the
+	// global queue bound, and the bound is checked before enqueueing under
+	// the same mutex, so a deposit never blocks. Close closes wake; workers
+	// drain the remaining tokens (running the queued jobs to the drain
+	// deadline) and exit.
+	wake  chan struct{}
+	epoch time.Time // monotonic anchor for the tenant registry's clock
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -106,43 +134,100 @@ type Pool struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*job
+	identity map[string]*job // IdentityKey -> job, when Options.Idempotent
+	tenants  *tenant.Registry
 	nextNum  int
 	draining bool
 }
 
-// New starts a pool: opts.Workers goroutines consuming a bounded queue.
+// New starts a pool: opts.Workers goroutines consuming the fair queue.
 func New(opts Options) *Pool {
 	ctx, cancel := context.WithCancel(context.Background())
+	tcfg := tenant.Config{}
+	if opts.Tenancy != nil {
+		tcfg = *opts.Tenancy
+	}
 	p := &Pool{
 		opts:      opts,
 		store:     checkpointStore{dir: opts.CheckpointDir},
 		metrics:   newPoolMetrics(opts.Metrics),
-		queue:     make(chan *job, opts.queueDepth()),
+		wake:      make(chan struct{}, opts.queueDepth()),
+		epoch:     time.Now(),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*job),
+		identity:  make(map[string]*job),
+		tenants:   tenant.NewRegistry(tcfg),
 	}
 	for i := 0; i < opts.workers(); i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for j := range p.queue {
-				p.metrics.queueDepth.Set(int64(len(p.queue)))
-				p.runJob(j)
+			for range p.wake {
+				p.mu.Lock()
+				item, ten, ok := p.tenants.Dequeue()
+				p.metrics.queueDepth.Set(int64(p.tenants.QueuedTotal()))
+				p.mu.Unlock()
+				if !ok {
+					continue
+				}
+				p.runJob(item.(*job), ten)
 			}
 		}()
 	}
 	return p
 }
 
-// Submit enqueues a job and returns its ID. It never blocks: when the pool
-// is draining, the queue is full, or the spec names no registered
-// experiment, the submission is shed with a *ShedError explaining why.
+// now is the monotonic clock injected into the tenant registry. Wall time
+// here paces admission (token-bucket refill), never results.
+func (p *Pool) now() int64 {
+	if p.opts.nowNanos != nil {
+		return p.opts.nowNanos()
+	}
+	return int64(time.Since(p.epoch))
+}
+
+// SubmitResult reports an accepted submission.
+type SubmitResult struct {
+	// ID is the job to poll.
+	ID string `json:"id"`
+	// Tenant is the admitting tenant's public ID (a pinned name, a key
+	// hash, or "anonymous" — never the raw API key). On a deduped result it
+	// is the original submitter's tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Deduped reports an idempotent hit: ID names a previously submitted
+	// job with the same determinism identity, and no new work was enqueued
+	// (and no quota was charged).
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Submit enqueues a job on behalf of the anonymous tenant and returns its
+// ID. See SubmitTenant.
 func (p *Pool) Submit(spec Spec) (string, error) {
+	res, err := p.SubmitTenant("", spec)
+	return res.ID, err
+}
+
+// SubmitTenant enqueues a job on behalf of the tenant owning apiKey. It
+// never blocks: when the pool is draining, the global queue is full, the
+// spec is invalid, or the tenant's quotas reject the submission, it sheds
+// with a *ShedError explaining why (tenant rejections wrap the structured
+// *tenant.LimitError, so errors.Is classifies against the tenant
+// sentinels and errors.As recovers the retry hint).
+//
+// With Options.Idempotent, a spec whose determinism identity matches a
+// queued, running or succeeded job dedups: the existing job is returned
+// with Deduped set, no work is enqueued, and no quota is charged.
+func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	shed := func(reason error) (string, error) {
-		return "", &ShedError{Reason: reason, QueueLen: len(p.queue), QueueCap: cap(p.queue)}
+	shed := func(reason error) (SubmitResult, error) {
+		return SubmitResult{}, &ShedError{
+			Reason:   reason,
+			QueueLen: p.tenants.QueuedTotal(),
+			QueueCap: p.opts.queueDepth(),
+			Workers:  p.opts.workers(),
+		}
 	}
 	if _, ok := lookup(spec.Experiment); !ok {
 		p.metrics.shedUnknown.Inc()
@@ -156,27 +241,57 @@ func (p *Pool) Submit(spec Spec) (string, error) {
 		p.metrics.shedDrain.Inc()
 		return shed(ErrDraining)
 	}
-	ctx, cancel := context.WithCancel(p.baseCtx)
-	j := &job{
-		id:     fmt.Sprintf("job-%d", p.nextNum),
-		num:    p.nextNum,
-		spec:   spec,
-		ctx:    ctx,
-		cancel: cancel,
-		state:  StateQueued,
+	var ikey string
+	if p.opts.Idempotent {
+		ikey = spec.IdentityKey()
+		if prev, ok := p.identity[ikey]; ok &&
+			prev.state != StateFailed && prev.state != StateCancelled {
+			p.metrics.deduped.Inc()
+			return SubmitResult{ID: prev.id, Tenant: prev.tenantID, Deduped: true}, nil
+		}
 	}
-	select {
-	case p.queue <- j:
-		p.nextNum++
-		p.jobs[j.id] = j
-		p.metrics.submitted.Inc()
-		p.metrics.queueDepth.Set(int64(len(p.queue)))
-		return j.id, nil
-	default:
-		cancel()
+	ten, err := p.tenants.Lookup(apiKey)
+	if err != nil {
+		p.metrics.shedExhausted.Inc()
+		p.metrics.tenantShed(nil, err)
+		return shed(err)
+	}
+	if p.tenants.QueuedTotal() >= p.opts.queueDepth() {
 		p.metrics.shedFull.Inc()
+		p.metrics.tenantShed(ten, ErrQueueFull)
 		return shed(ErrQueueFull)
 	}
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	j := &job{
+		id:       fmt.Sprintf("job-%d", p.nextNum),
+		num:      p.nextNum,
+		spec:     spec,
+		tenantID: ten.ID(),
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateQueued,
+	}
+	if err := p.tenants.Enqueue(ten, j, p.now()); err != nil {
+		cancel()
+		p.metrics.shedQuota.Inc()
+		p.metrics.tenantShed(ten, err)
+		return shed(err)
+	}
+	select {
+	case p.wake <- struct{}{}:
+	default:
+		// Unreachable: Enqueue admitted at most queueDepth items (checked
+		// above under this mutex), and each admitted item owns one token.
+	}
+	p.nextNum++
+	p.jobs[j.id] = j
+	if ikey != "" {
+		p.identity[ikey] = j
+	}
+	p.metrics.submitted.Inc()
+	p.metrics.tenantAdmit(ten)
+	p.metrics.queueDepth.Set(int64(p.tenants.QueuedTotal()))
+	return SubmitResult{ID: j.id, Tenant: ten.ID()}, nil
 }
 
 // Get returns a snapshot of the job, if the pool knows the ID.
@@ -211,6 +326,7 @@ func (p *Pool) snapshot(j *job) Job {
 	s := Job{
 		ID:          j.id,
 		Spec:        j.spec,
+		Tenant:      j.tenantID,
 		State:       j.state,
 		Attempts:    j.attempts,
 		BatchesDone: j.batchesDone,
@@ -248,16 +364,17 @@ func (p *Pool) Draining() bool {
 // Close shuts the pool down gracefully: no new submissions are accepted,
 // queued and in-flight jobs keep running until ctx expires, and any job
 // still running at that point is cancelled — its progress already
-// checkpointed batch by batch. Close returns once every worker goroutine
-// has exited: nil if all jobs drained, otherwise the drain deadline's
-// cause. Close is idempotent; later calls just wait for the drain.
+// checkpointed batch by batch, its event subscribers notified with a
+// terminal event. Close returns once every worker goroutine has exited:
+// nil if all jobs drained, otherwise the drain deadline's cause. Close is
+// idempotent; later calls just wait for the drain.
 func (p *Pool) Close(ctx context.Context) error {
 	p.mu.Lock()
 	already := p.draining
 	p.draining = true
 	p.mu.Unlock()
 	if !already {
-		close(p.queue)
+		close(p.wake)
 	}
 
 	done := make(chan struct{})
@@ -279,15 +396,21 @@ func (p *Pool) Close(ctx context.Context) error {
 
 // runJob drives one job to a terminal state. It never panics: experiment
 // panics are recovered inside the attempt and become structured errors.
-func (p *Pool) runJob(j *job) {
+// Whatever the terminal state, the tenant's in-flight slot is released and
+// every event subscriber observes termination.
+func (p *Pool) runJob(j *job, ten *tenant.Tenant) {
 	defer j.cancel()
 	p.mu.Lock()
 	if j.ctx.Err() != nil { // cancelled while queued
 		p.finishLocked(j, fmt.Errorf("jobs: cancelled before start: %w", context.Cause(j.ctx)))
+		p.tenants.Finish(ten)
+		subs := j.takeSubsLocked()
 		p.mu.Unlock()
+		closeSubs(subs)
 		return
 	}
 	j.state = StateRunning
+	j.publishLocked()
 	p.mu.Unlock()
 	p.metrics.running.Inc()
 	defer p.metrics.running.Dec()
@@ -354,7 +477,10 @@ func (p *Pool) runJob(j *job) {
 	if final == nil {
 		j.state = StateSucceeded
 		j.output = table
+		p.tenants.Finish(ten)
+		subs := j.takeSubsLocked()
 		p.mu.Unlock()
+		closeSubs(subs)
 		p.metrics.terminal(StateSucceeded)
 		// A sharded job's checkpoint IS its product: keep the file so a
 		// resubmitted shard (coordinator retry, restarted worker) replays to
@@ -365,7 +491,10 @@ func (p *Pool) runJob(j *job) {
 		return
 	}
 	p.finishLocked(j, final)
+	p.tenants.Finish(ten)
+	subs := j.takeSubsLocked()
 	p.mu.Unlock()
+	closeSubs(subs)
 }
 
 // finishLocked records a terminal failure; callers hold the pool mutex.
@@ -429,6 +558,7 @@ func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tb
 			p.mu.Lock()
 			j.batchesDone = snap.Computed()
 			j.ck = snap
+			j.publishLocked()
 			p.mu.Unlock()
 			p.store.save(j.spec, snap)
 			if p.opts.BatchHook != nil {

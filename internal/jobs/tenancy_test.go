@@ -1,0 +1,211 @@
+package jobs
+
+// White-box tenancy tests: these need the unexported clock override to
+// drive the token bucket deterministically, and peek at dispatch order.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"locality/internal/harness"
+	"locality/internal/tenant"
+)
+
+func waitStateWB(t *testing.T, p *Pool, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := p.Get(id)
+		if !ok {
+			t.Fatalf("job %s unknown", id)
+		}
+		if j.State == want || j.State.Terminal() {
+			if j.State != want {
+				t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+			}
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Job{}
+}
+
+func closePoolWB(t *testing.T, p *Pool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestTenantRateLimitDeterministic drives the submit token bucket with a
+// fake clock: burst admits, the next submit sheds with the exact
+// deterministic retry hint, and exactly one token accrues per period.
+func TestTenantRateLimitDeterministic(t *testing.T) {
+	var now int64
+	p := New(Options{
+		Workers: 1,
+		Tenancy: &tenant.Config{
+			Defaults: tenant.Limits{Rate: 1, Burst: 2},
+		},
+		nowNanos: func() int64 { return now },
+	})
+	defer closePoolWB(t, p)
+
+	spec := Spec{Experiment: "E8", Quick: true}
+	for i := 0; i < 2; i++ {
+		spec.Seed = uint64(i)
+		if _, err := p.SubmitTenant("key", spec); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	spec.Seed = 99
+	_, err := p.SubmitTenant("key", spec)
+	var shedErr *ShedError
+	if !errors.As(err, &shedErr) || !errors.Is(err, tenant.ErrRateLimited) {
+		t.Fatalf("empty bucket: err = %v, want ShedError wrapping ErrRateLimited", err)
+	}
+	var le *tenant.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("rate shed does not carry *tenant.LimitError: %v", err)
+	}
+	if le.RetryAfterNanos != int64(time.Second) {
+		t.Errorf("RetryAfterNanos = %d, want 1s at rate 1/s", le.RetryAfterNanos)
+	}
+	if le.Tenant == "key" {
+		t.Errorf("LimitError leaks the raw API key")
+	}
+	now += int64(time.Second)
+	if _, err := p.SubmitTenant("key", spec); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	// A different tenant holds an independent bucket.
+	spec.Seed = 100
+	if _, err := p.SubmitTenant("other-key", spec); err != nil {
+		t.Fatalf("independent tenant: %v", err)
+	}
+}
+
+// TestTenantQuotaSheds covers the queued and in-flight caps end to end
+// through SubmitTenant, including the structured shed metadata.
+func TestTenantQuotaSheds(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	p := New(Options{
+		Workers:    1,
+		QueueDepth: 8,
+		Tenancy: &tenant.Config{
+			Defaults: tenant.Limits{MaxQueued: 1, MaxInFlight: 2},
+		},
+		BatchHook: func(string, *harness.Checkpoint) { <-gate },
+	})
+	defer func() {
+		once.Do(func() { close(gate) })
+		closePoolWB(t, p)
+	}()
+
+	// First job occupies the worker (blocked in its first batch), second
+	// fills the tenant's queue slot, third trips MaxQueued. The first must
+	// be dequeued (running) before the second submits, or it still counts
+	// against the queued cap.
+	if _, err := p.SubmitTenant("k", Spec{Experiment: "E8", Quick: true, Seed: 0}); err != nil {
+		t.Fatalf("submit 0: %v", err)
+	}
+	waitStateWB(t, p, "job-0", StateRunning)
+	if _, err := p.SubmitTenant("k", Spec{Experiment: "E8", Quick: true, Seed: 1}); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	_, err := p.SubmitTenant("k", Spec{Experiment: "E8", Quick: true, Seed: 9})
+	switch {
+	case errors.Is(err, tenant.ErrQueueFull):
+	case errors.Is(err, tenant.ErrInFlightLimit):
+		// running(1) + queued(1) == MaxInFlight: also a legal rejection order
+		t.Fatalf("expected the queued cap to trip first, got in-flight: %v", err)
+	default:
+		t.Fatalf("tenant queue cap: err = %v", err)
+	}
+	// Another tenant is unaffected by k's quotas.
+	if _, err := p.SubmitTenant("other", Spec{Experiment: "E8", Quick: true, Seed: 10}); err != nil {
+		t.Fatalf("other tenant blocked by k's quota: %v", err)
+	}
+	once.Do(func() { close(gate) })
+}
+
+// TestFairShareDispatchOrder pins the weighted round-robin dispatch: with
+// one worker and a flooding tenant ahead in the queue, a well-behaved
+// tenant's single job is served next turn, not after the flood.
+func TestFairShareDispatchOrder(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	started := make(map[string]bool)
+	p := New(Options{
+		Workers:    1,
+		QueueDepth: 16,
+		BatchHook: func(id string, _ *harness.Checkpoint) {
+			mu.Lock()
+			if !started[id] {
+				started[id] = true
+				order = append(order, id)
+			}
+			mu.Unlock()
+			if id == "job-0" {
+				<-release // hold the worker until the queue is loaded
+			}
+		},
+	})
+	defer closePoolWB(t, p)
+
+	// job-0 (anonymous tenant) occupies the only worker.
+	blocker, err := p.SubmitTenant("", Spec{Experiment: "E12", Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStateWB(t, p, blocker.ID, StateRunning)
+
+	// The abusive tenant floods six jobs, then the good tenant submits one.
+	var abusive []string
+	for i := 0; i < 6; i++ {
+		res, err := p.SubmitTenant("abusive-key", Spec{Experiment: "E8", Quick: true, Seed: uint64(10 + i)})
+		if err != nil {
+			t.Fatalf("abusive submit %d: %v", i, err)
+		}
+		abusive = append(abusive, res.ID)
+	}
+	good, err := p.SubmitTenant("good-key", Spec{Experiment: "E8", Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("good submit: %v", err)
+	}
+	close(release)
+	waitStateWB(t, p, good.ID, StateSucceeded)
+
+	mu.Lock()
+	defer mu.Unlock()
+	goodPos, abusiveBefore := -1, 0
+	for i, id := range order {
+		if id == good.ID {
+			goodPos = i
+		}
+	}
+	for _, id := range abusive {
+		for i, o := range order {
+			if o == id && goodPos >= 0 && i < goodPos {
+				abusiveBefore++
+			}
+		}
+	}
+	if goodPos < 0 {
+		t.Fatalf("good job never started; order %v", order)
+	}
+	// Round-robin serves one abusive job per turn: at most one of the six
+	// flooding jobs may run before the good tenant's.
+	if abusiveBefore > 1 {
+		t.Errorf("good job started at position %d with %d abusive jobs before it (order %v); fair share broken",
+			goodPos, abusiveBefore, order)
+	}
+}

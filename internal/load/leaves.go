@@ -1,0 +1,48 @@
+// The package's sanctioned nondeterminism leaves, confined to this file:
+// the wall clock (latency is a wall-clock observation by definition), the
+// pacing sleeps, the artifact timestamp, and the one goroutine spawn site
+// behind every concurrent phase. localvet's goroutinedisc allowance names
+// this file; keep go statements out of the rest of the package.
+package load
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// nowNanos is the engine's monotonic-ish clock for latency measurement.
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+// sleep paces polls and abusive submit loops; cancelling the context wakes
+// it early.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// StampNow returns the artifact timestamp in the LOAD_* filename format,
+// e.g. 20260808T151405Z. The engine never calls it — Result.Stamp is the
+// caller's to set — so engine runs under test stay calendar-free.
+func StampNow() string { return time.Now().UTC().Format("20060102T150405Z0700") }
+
+// spawnClients runs fn(0..n-1, ctx) concurrently and joins all of them
+// before returning — the package's only goroutine spawn site. The join is
+// unconditional (goroutines are never abandoned); cancellation reaches the
+// workers through the context each fn receives. Callers give each i a
+// private result slot, so phases need no locks.
+func spawnClients(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}

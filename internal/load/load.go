@@ -1,0 +1,532 @@
+// Package load is the deterministic workload engine behind cmd/localload:
+// a seeded, phase-structured client swarm that exercises a running
+// localityd over plain HTTP and reports per-phase latency quantiles, shed
+// counts and invariant violations.
+//
+// The engine is importable so the daemon's end-to-end tests can drive the
+// exact workload the release gate runs, in-process and under the race
+// detector. Determinism here means the *workload* is a pure function of
+// Options.Seed — every job spec, seed and duplicate group is derived with
+// internal/rng — while measured latencies are, necessarily, wall-clock
+// observations. The abusive swarm's cut-off point is timing-dependent (it
+// floods for as long as the well-behaved workload runs), but the sequence
+// of specs it submits is the same deterministic stream on every run.
+//
+// Phases, in order:
+//
+//	solo       the well-behaved tenant runs its workload alone; its p99
+//	           is the fairness baseline.
+//	contended  the same workload with an abusive tenant flooding submits;
+//	           fairness holds iff the well-behaved p99 stays within
+//	           MaxFairnessRatio of solo AND no well-behaved request sheds.
+//	duplicate  concurrent byte-identical submits; exactly one job may be
+//	           fresh, the rest must dedup to the same ID.
+//	stream     SSE streams over running jobs; every stream must observe a
+//	           terminal state and close cleanly.
+//	chaos      (only with a Chaos hook, i.e. against a spawned daemon)
+//	           SIGTERM lands mid-stream; the open stream must still get a
+//	           terminal frame and a clean close.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"locality/internal/obs"
+	"locality/internal/rng"
+)
+
+// Schema identifies the artifact format written by Write.
+const Schema = "locality-load/v1"
+
+// Per-phase seed-derivation tags, mixed with Options.Seed so phases draw
+// from disjoint deterministic streams. Tags are spaced 2^40 apart: phase
+// offsets (job index, or abuse client<<32 + submission) stay far below the
+// spacing, so no two phases can ever derive the same seed and accidentally
+// dedup against each other.
+const (
+	soloTag   uint64 = 1 << 40
+	contTag   uint64 = 2 << 40
+	abuseTag  uint64 = 3 << 40
+	dupTag    uint64 = 4 << 40
+	streamTag uint64 = 5 << 40
+	chaosTag  uint64 = 6 << 40
+)
+
+// latencyBuckets are the submit→terminal histogram bounds in milliseconds.
+// Quantiles are bucket-quantized (upper bounds), which deliberately coarsens
+// the fairness and regression gates: runs whose latencies land in the same
+// buckets compare as exactly equal.
+var latencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// overflowMillis stands in for a +Inf quantile in JSON artifacts (the
+// encoder rejects infinities). Any latency past the last bucket reports
+// this value and fails every gate it touches.
+const overflowMillis = 60000
+
+// Options configures one engine run. Zero fields take the defaults noted.
+type Options struct {
+	// BaseURL roots every request, e.g. "http://127.0.0.1:8177".
+	BaseURL string
+	// Seed derives the whole workload (job seeds, duplicate groups).
+	Seed uint64
+	// GoodKey and AbuseKey are the API keys for the well-behaved and
+	// abusive tenants. They must name differently-quota'd tenants in the
+	// daemon's tenants file for the contended phase to mean anything.
+	GoodKey  string
+	AbuseKey string
+	// Experiment is the sweep the measured (well-behaved) workload
+	// submits, always in quick mode (default "E8"). AbuseExperiment is
+	// what the flood submits (default: Experiment). Production-gate runs
+	// give the measured tenant a longer sweep and the flood a short one:
+	// the fairness ratio then reflects admission-layer protection rather
+	// than the raw CPU an occasionally-admitted abusive job steals on a
+	// small machine.
+	Experiment      string
+	AbuseExperiment string
+	// SoloJobs and ContendedJobs size the well-behaved workload per phase
+	// (default 6 each). AbuseClients (default 4) flood concurrently during
+	// the contended phase until the well-behaved workload finishes.
+	SoloJobs      int
+	ContendedJobs int
+	AbuseClients  int
+	// DuplicateSubmits is the size of the concurrent identical-submit
+	// group (default 8). Streams is the number of concurrent SSE streams
+	// (default 3).
+	DuplicateSubmits int
+	Streams          int
+	// MaxFairnessRatio bounds contended-p99 / solo-p99 for the fairness
+	// verdict (default 2).
+	MaxFairnessRatio float64
+	// FloodPause paces each abusive client between submits (default
+	// 2ms). In-process tests on small machines raise it: the point of the
+	// contended phase is admission-layer pressure, not starving the
+	// shared CPU the measured workload runs on.
+	FloodPause time.Duration
+	// Chaos, when non-nil, delivers SIGTERM to the daemon under test. The
+	// chaos phase only runs with a hook — in-process test servers have no
+	// signal to send.
+	Chaos func() error
+	// Logf receives progress lines (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Experiment == "" {
+		o.Experiment = "E8"
+	}
+	if o.AbuseExperiment == "" {
+		o.AbuseExperiment = o.Experiment
+	}
+	if o.SoloJobs == 0 {
+		o.SoloJobs = 6
+	}
+	if o.ContendedJobs == 0 {
+		o.ContendedJobs = 6
+	}
+	if o.AbuseClients == 0 {
+		o.AbuseClients = 4
+	}
+	if o.DuplicateSubmits == 0 {
+		o.DuplicateSubmits = 8
+	}
+	if o.Streams == 0 {
+		o.Streams = 3
+	}
+	if o.MaxFairnessRatio == 0 {
+		o.MaxFairnessRatio = 2
+	}
+	if o.FloodPause == 0 {
+		o.FloodPause = floodPause
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// PhaseResult is one phase's aggregate outcome.
+type PhaseResult struct {
+	Name string `json:"name"`
+	// Ops counts requests issued; OK the admitted (2xx) ones; Sheds the
+	// structured 429/503 rejections; Errors everything else (transport
+	// failures, unexpected statuses, protocol violations).
+	Ops    int `json:"ops"`
+	OK     int `json:"ok"`
+	Sheds  int `json:"sheds"`
+	Errors int `json:"errors"`
+	// Deduped counts idempotent submit hits (duplicate phase).
+	Deduped int `json:"deduped,omitempty"`
+	// Terminals counts streams that observed a terminal state (stream and
+	// chaos phases).
+	Terminals int `json:"terminals,omitempty"`
+	// P50Millis/P99Millis are exact submit→terminal latency quantiles
+	// (sorted-sample order statistics) for the phase's well-behaved
+	// traffic; 0 when the phase measures none.
+	P50Millis float64 `json:"p50_ms,omitempty"`
+	P99Millis float64 `json:"p99_ms,omitempty"`
+}
+
+// Result is one engine run's full outcome — the artifact payload.
+type Result struct {
+	Schema string `json:"schema"`
+	Seed   uint64 `json:"seed"`
+	// Stamp is the artifact timestamp (UTC, 20060102T150405Z). The CLI
+	// stamps it after the run; the engine itself never reads a calendar.
+	Stamp  string        `json:"stamp,omitempty"`
+	Phases []PhaseResult `json:"phases"`
+	// The fairness verdict: contended-p99 / solo-p99 for the well-behaved
+	// tenant, the bound it was held to, the shed counts on each side, and
+	// the resulting boolean. The p99s here are exact order statistics —
+	// the two phases run in the same process minutes apart, so comparing
+	// raw values is meaningful and avoids false trips at bucket edges.
+	GoodSoloP99      float64 `json:"good_solo_p99_ms"`
+	GoodContendedP99 float64 `json:"good_contended_p99_ms"`
+	// The *Bucket fields are the same quantiles quantized to the latency
+	// histogram's upper bounds. Cross-run comparisons (the baseline
+	// regression gate) use these: runs whose latencies land in the same
+	// buckets compare as exactly equal, absorbing machine-to-machine
+	// jitter that exact values would surface as noise.
+	GoodSoloP99Bucket      float64 `json:"good_solo_p99_bucket_ms"`
+	GoodContendedP99Bucket float64 `json:"good_contended_p99_bucket_ms"`
+	FairnessRatio          float64 `json:"fairness_ratio"`
+	MaxFairnessRatio       float64 `json:"max_fairness_ratio"`
+	GoodSheds              int     `json:"good_sheds"`
+	AbuseSheds             int     `json:"abuse_sheds"`
+	Fair                   bool    `json:"fair"`
+	// Failures lists every violated invariant in plain language. Empty
+	// plus Fair means the run passed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Passed reports whether the run holds every gate: fairness plus all
+// phase invariants.
+func (r *Result) Passed() bool { return r.Fair && len(r.Failures) == 0 }
+
+func (r *Result) fail(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// runner threads options, clients and histograms through the phases.
+type runner struct {
+	o     Options
+	good  *client
+	abuse *client
+	res   *Result
+	reg   *obs.Registry
+}
+
+// Run executes the phased workload against opts.BaseURL and returns the
+// aggregate result. The error return is reserved for setup-level failures;
+// workload-level problems (sheds, violated invariants, unfair latency) are
+// reported in the Result so the caller can both gate on and persist them.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if o.BaseURL == "" {
+		return nil, fmt.Errorf("load: BaseURL required")
+	}
+	r := &runner{
+		o:     o,
+		good:  newClient(o.BaseURL, o.GoodKey),
+		abuse: newClient(o.BaseURL, o.AbuseKey),
+		res:   &Result{Schema: Schema, Seed: o.Seed, MaxFairnessRatio: o.MaxFairnessRatio},
+		reg:   obs.NewRegistry(),
+	}
+
+	solo := r.runWellBehaved(ctx, "solo", soloTag, o.SoloJobs, nil)
+	contended := r.runContended(ctx)
+	r.runDuplicate(ctx)
+	r.runStream(ctx)
+	if o.Chaos != nil {
+		r.runChaos(ctx)
+	}
+
+	r.res.GoodSoloP99 = solo.P99Millis
+	r.res.GoodContendedP99 = contended.P99Millis
+	r.res.GoodSoloP99Bucket = quantileMillis(r.hist("solo"), 0.99)
+	r.res.GoodContendedP99Bucket = quantileMillis(r.hist("contended"), 0.99)
+	r.res.FairnessRatio = fairnessRatio(solo.P99Millis, contended.P99Millis)
+	r.res.Fair = r.res.FairnessRatio <= o.MaxFairnessRatio && r.res.GoodSheds == 0
+	if !r.res.Fair {
+		r.res.fail("fairness: contended p99 %.1fms vs solo %.1fms (ratio %.2f > %.2f) with %d well-behaved sheds",
+			contended.P99Millis, solo.P99Millis, r.res.FairnessRatio, o.MaxFairnessRatio, r.res.GoodSheds)
+	}
+	return r.res, ctx.Err()
+}
+
+// fairnessRatio guards the degenerate baselines: an empty solo histogram
+// (p99 0) cannot anchor a ratio, and an overflow on either side is an
+// automatic fail.
+func fairnessRatio(solo, contended float64) float64 {
+	if solo <= 0 {
+		if contended <= 0 {
+			return 1
+		}
+		return math.MaxFloat64
+	}
+	return contended / solo
+}
+
+// quantileMillis projects a histogram quantile into the artifact's finite
+// domain.
+func quantileMillis(h *obs.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return overflowMillis
+	}
+	return v
+}
+
+// exactQuantile is the order statistic at q over the raw samples: the
+// ceil(q·n)-th smallest. Empty input yields 0.
+func exactQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// hist returns the named phase's latency histogram (created on first use,
+// so lookups after a phase ran see its observations).
+func (r *runner) hist(phase string) *obs.Histogram {
+	return r.reg.Histogram("locality_load_latency_ms", "submit→terminal latency", latencyBuckets, "phase", phase)
+}
+
+// runWellBehaved runs n sequential submit→terminal jobs as the good tenant
+// and records their latencies under the named phase. When stop is non-nil
+// it is closed after the last job, signalling concurrent abusers to quit.
+func (r *runner) runWellBehaved(ctx context.Context, phase string, tag uint64, n int, stop chan<- struct{}) PhaseResult {
+	if stop != nil {
+		defer close(stop)
+	}
+	ph := PhaseResult{Name: phase}
+	h := r.hist(phase)
+	var samples []float64
+	for i := 0; i < n && ctx.Err() == nil; i++ {
+		ph.Ops++
+		seed := rng.Mix64(r.o.Seed, tag+uint64(i))
+		out, err := r.good.submitAndWait(ctx, r.body(seed))
+		switch {
+		case err != nil:
+			ph.Errors++
+			r.res.fail("%s: job %d: %v", phase, i, err)
+		case out.shed:
+			ph.Sheds++
+			r.res.GoodSheds++
+		default:
+			ph.OK++
+			h.Observe(out.latencyMillis)
+			samples = append(samples, out.latencyMillis)
+		}
+	}
+	ph.P50Millis = exactQuantile(samples, 0.50)
+	ph.P99Millis = exactQuantile(samples, 0.99)
+	r.res.Phases = append(r.res.Phases, ph)
+	r.o.Logf("phase %s: %d ops, %d sheds, %d errors, p99 %.1fms", phase, ph.Ops, ph.Sheds, ph.Errors, ph.P99Millis)
+	return ph
+}
+
+// runContended reruns the well-behaved workload while AbuseClients flood
+// submissions on the abusive key. Abusers draw specs from a deterministic
+// per-client stream and stop when the well-behaved workload completes, so
+// contention spans the entire measurement window. Per-client tallies land
+// in pre-sized slots — no shared state, no locks.
+func (r *runner) runContended(ctx context.Context) PhaseResult {
+	stop := make(chan struct{})
+	var good PhaseResult
+	abusers := make([]PhaseResult, r.o.AbuseClients)
+	spawnClients(ctx, r.o.AbuseClients+1, func(ctx context.Context, i int) {
+		if i == r.o.AbuseClients {
+			good = r.runWellBehaved(ctx, "contended", contTag, r.o.ContendedJobs, stop)
+			return
+		}
+		abusers[i] = r.flood(ctx, i, stop)
+	})
+	flood := PhaseResult{Name: "abuse"}
+	for _, a := range abusers {
+		flood.Ops += a.Ops
+		flood.OK += a.OK
+		flood.Sheds += a.Sheds
+		flood.Errors += a.Errors
+	}
+	r.res.AbuseSheds = flood.Sheds
+	r.res.Phases = append(r.res.Phases, flood)
+	r.o.Logf("phase abuse: %d ops, %d admitted, %d sheds", flood.Ops, flood.OK, flood.Sheds)
+	return good
+}
+
+// flood is one abusive client: submit as fast as the server answers, absorb
+// sheds without honouring Retry-After, stop when told. The floodPause
+// between submits keeps the loop from becoming a CPU-bound spin in
+// race-instrumented tests without meaningfully easing the pressure.
+func (r *runner) flood(ctx context.Context, id int, stop <-chan struct{}) PhaseResult {
+	ph := PhaseResult{Name: fmt.Sprintf("abuse-%d", id)}
+	for j := 0; ; j++ {
+		select {
+		case <-stop:
+			return ph
+		case <-ctx.Done():
+			return ph
+		default:
+		}
+		ph.Ops++
+		seed := rng.Mix64(r.o.Seed, abuseTag+uint64(id)<<32+uint64(j))
+		out, err := r.abuse.submit(ctx, submitBody{Experiment: r.o.AbuseExperiment, Quick: true, Seed: seed})
+		switch {
+		case err != nil:
+			ph.Errors++
+		case out.shed:
+			ph.Sheds++
+		default:
+			ph.OK++
+		}
+		sleep(ctx, r.o.FloodPause)
+	}
+}
+
+// runDuplicate issues DuplicateSubmits concurrent byte-identical submits
+// and checks the idempotency contract: one ID, at most one fresh admission.
+func (r *runner) runDuplicate(ctx context.Context) {
+	ph := PhaseResult{Name: "duplicate"}
+	body := r.body(rng.Mix64(r.o.Seed, dupTag))
+	outs := make([]submitOutcome, r.o.DuplicateSubmits)
+	errs := make([]error, r.o.DuplicateSubmits)
+	spawnClients(ctx, r.o.DuplicateSubmits, func(ctx context.Context, i int) {
+		outs[i], errs[i] = r.good.submit(ctx, body)
+	})
+	ids := map[string]bool{}
+	fresh := 0
+	for i := range outs {
+		ph.Ops++
+		switch {
+		case errs[i] != nil:
+			ph.Errors++
+			r.res.fail("duplicate: submit %d: %v", i, errs[i])
+		case outs[i].shed:
+			ph.Sheds++
+			r.res.GoodSheds++
+		case outs[i].deduped:
+			ph.OK++
+			ph.Deduped++
+			ids[outs[i].id] = true
+		default:
+			ph.OK++
+			fresh++
+			ids[outs[i].id] = true
+		}
+	}
+	if len(ids) > 1 {
+		r.res.fail("duplicate: %d distinct job IDs for one identity", len(ids))
+	}
+	if fresh > 1 {
+		r.res.fail("duplicate: %d fresh admissions for one identity, want ≤1", fresh)
+	}
+	r.res.Phases = append(r.res.Phases, ph)
+	r.o.Logf("phase duplicate: %d ops, %d deduped, %d distinct IDs", ph.Ops, ph.Deduped, len(ids))
+}
+
+// runStream submits Streams jobs and reads one SSE stream per job to
+// completion; every stream must observe a terminal state and close cleanly.
+func (r *runner) runStream(ctx context.Context) {
+	ph := PhaseResult{Name: "stream"}
+	n := r.o.Streams
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		out, err := r.good.submit(ctx, r.body(rng.Mix64(r.o.Seed, streamTag+uint64(i))))
+		ph.Ops++
+		if err != nil || out.shed {
+			ph.Errors++
+			r.res.fail("stream: submit %d failed (err %v, shed %v)", i, err, out.shed)
+			continue
+		}
+		ids[i] = out.id
+	}
+	sums := make([]streamSummary, n)
+	errs := make([]error, n)
+	spawnClients(ctx, n, func(ctx context.Context, i int) {
+		if ids[i] == "" {
+			return
+		}
+		sums[i], errs[i] = r.good.stream(ctx, ids[i], nil)
+	})
+	for i := range sums {
+		if ids[i] == "" {
+			continue
+		}
+		switch {
+		case errs[i] != nil:
+			ph.Errors++
+			r.res.fail("stream %d: %v", i, errs[i])
+		case !sums[i].sawTerminal:
+			ph.Errors++
+			r.res.fail("stream %d: closed after %d frames without a terminal state", i, sums[i].frames)
+		default:
+			ph.OK++
+			ph.Terminals++
+		}
+	}
+	r.res.Phases = append(r.res.Phases, ph)
+	r.o.Logf("phase stream: %d streams, %d terminals, %d errors", n, ph.Terminals, ph.Errors)
+}
+
+// runChaos opens a stream over a fresh job, delivers SIGTERM once the
+// stream is live, and requires the drain to hand the stream a terminal
+// state and a clean close — the drain-race guarantee, end to end.
+func (r *runner) runChaos(ctx context.Context) {
+	ph := PhaseResult{Name: "chaos"}
+	out, err := r.good.submit(ctx, r.body(rng.Mix64(r.o.Seed, chaosTag)))
+	ph.Ops++
+	if err != nil || out.shed {
+		r.res.fail("chaos: submit failed (err %v, shed %v)", err, out.shed)
+		ph.Errors++
+		r.res.Phases = append(r.res.Phases, ph)
+		return
+	}
+	open := make(chan struct{})
+	var sum streamSummary
+	var streamErr, chaosErr error
+	spawnClients(ctx, 2, func(ctx context.Context, i int) {
+		if i == 0 {
+			sum, streamErr = r.good.stream(ctx, out.id, func() { close(open) })
+			return
+		}
+		select {
+		case <-open:
+		case <-ctx.Done():
+			return
+		}
+		chaosErr = r.o.Chaos()
+	})
+	switch {
+	case chaosErr != nil:
+		ph.Errors++
+		r.res.fail("chaos: signal delivery: %v", chaosErr)
+	case streamErr != nil:
+		ph.Errors++
+		r.res.fail("chaos: stream severed: %v", streamErr)
+	case !sum.sawTerminal:
+		ph.Errors++
+		r.res.fail("chaos: stream closed after %d frames without a terminal state", sum.frames)
+	default:
+		ph.OK++
+		ph.Terminals++
+	}
+	r.res.Phases = append(r.res.Phases, ph)
+	r.o.Logf("phase chaos: terminal=%v frames=%d err=%v", sum.sawTerminal, sum.frames, streamErr)
+}
+
+func (r *runner) body(seed uint64) submitBody {
+	return submitBody{Experiment: r.o.Experiment, Quick: true, Seed: seed}
+}

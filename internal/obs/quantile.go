@@ -1,0 +1,58 @@
+package obs
+
+import "math"
+
+// Quantile returns a conservative (upper-bound) estimate of the q-quantile
+// of the observed samples: the upper bound of the first bucket whose
+// cumulative count reaches q of the total. Because the estimate is
+// quantized to the fixed bucket bounds, it is stable across runs whose
+// samples land in the same buckets — the property the load-baseline
+// regression gate relies on. Samples beyond the last finite bucket yield
+// +Inf. A nil or empty histogram returns 0; q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.upper) {
+				return h.upper[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Buckets returns a snapshot of the histogram's bucket upper bounds and
+// their non-cumulative counts; the final count is the implicit +Inf
+// bucket's, so len(counts) == len(upper)+1. Nil-safe (returns nils). Like
+// the exposition, the snapshot is eventually consistent under concurrent
+// Observe calls.
+func (h *Histogram) Buckets() (upper []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = append([]float64(nil), h.upper...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return upper, counts
+}

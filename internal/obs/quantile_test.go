@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	// 8 samples: buckets le=1:1, le=2:2, le=4:3, le=8:1, +Inf:1.
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},     // clamped up to the first non-empty bucket
+		{0.125, 1}, // 1st sample
+		{0.25, 2},  // 2nd
+		{0.5, 4},   // cum counts 1,3,6,...: the 4th sample lands in le=4
+		{0.75, 4},  // 6th
+		{0.875, 8}, // 7th
+		{1, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got != c.want && !(math.IsInf(c.want, 1) && math.IsInf(got, 1)) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Quantization stability: any sample set landing in the same buckets
+	// yields the same quantiles.
+	h2 := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.9, 1.1, 1.9, 2.5, 3.9, 3.0, 6, 50} {
+		h2.Observe(v)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		if h.Quantile(q) != h2.Quantile(q) {
+			t.Errorf("bucket-equal histograms disagree at q=%v: %v vs %v",
+				q, h.Quantile(q), h2.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil histogram Quantile = %v", got)
+	}
+	if u, c := nilH.Buckets(); u != nil || c != nil {
+		t.Error("nil histogram Buckets not nil")
+	}
+	h := newHistogram([]float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v", got)
+	}
+	h.Observe(99)
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("overflow-only histogram Quantile = %v, want +Inf", got)
+	}
+	u, c := h.Buckets()
+	if len(u) != 1 || len(c) != 2 || c[1] != 1 {
+		t.Errorf("Buckets() = %v %v", u, c)
+	}
+}

@@ -62,13 +62,8 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	f, key := r.family(name, help, "counter", nil, labels)
-	if c, ok := f.series[key]; ok {
-		return c.(*Counter)
-	}
-	c := &Counter{}
-	f.series[key] = c
-	return c
+	return r.series(name, help, "counter", nil, labels,
+		func(*family) any { return &Counter{} }).(*Counter)
 }
 
 // Gauge returns the gauge for name and labels, creating it on first use
@@ -77,13 +72,8 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	f, key := r.family(name, help, "gauge", nil, labels)
-	if g, ok := f.series[key]; ok {
-		return g.(*Gauge)
-	}
-	g := &Gauge{}
-	f.series[key] = g
-	return g
+	return r.series(name, help, "gauge", nil, labels,
+		func(*family) any { return &Gauge{} }).(*Gauge)
 }
 
 // Histogram returns the fixed-bucket histogram for name and labels,
@@ -94,18 +84,16 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	if r == nil {
 		return nil
 	}
-	f, key := r.family(name, help, "histogram", buckets, labels)
-	if h, ok := f.series[key]; ok {
-		return h.(*Histogram)
-	}
-	h := newHistogram(f.buckets)
-	f.series[key] = h
-	return h
+	return r.series(name, help, "histogram", buckets, labels,
+		func(f *family) any { return newHistogram(f.buckets) }).(*Histogram)
 }
 
-// family resolves (creating if needed) the family for name under the lock
-// and returns it with the rendered label key.
-func (r *Registry) family(name, help, kind string, buckets []float64, labels []string) (*family, string) {
+// series resolves (creating if needed) the family AND the labeled series
+// in one critical section. Both maps live under the registry mutex —
+// resolving the family under the lock but touching f.series outside it
+// would race two first-use callers on the same route (and did, once the
+// load rig sent concurrent traffic at one handler).
+func (r *Registry) series(name, help, kind string, buckets []float64, labels []string, mk func(*family) any) any {
 	if len(labels)%2 != 0 {
 		panic(fmt.Sprintf("obs: metric %s: odd label list %q", name, labels))
 	}
@@ -117,15 +105,20 @@ func (r *Registry) family(name, help, kind string, buckets []float64, labels []s
 		f = &family{name: name, help: help, kind: kind,
 			buckets: append([]float64(nil), buckets...), series: make(map[string]any)}
 		r.fams[name] = f
-		return f, key
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("obs: metric %s registered with two help strings", name))
+		}
 	}
-	if f.kind != kind {
-		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	if s, ok := f.series[key]; ok {
+		return s
 	}
-	if f.help != help {
-		panic(fmt.Sprintf("obs: metric %s registered with two help strings", name))
-	}
-	return f, key
+	s := mk(f)
+	f.series[key] = s
+	return s
 }
 
 // labelKey renders the label pairs as the exposition's {k="v",...} block;

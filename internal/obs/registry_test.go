@@ -170,3 +170,36 @@ func TestConcurrent(t *testing.T) {
 		t.Errorf("histogram sum = %g, want %g", h.Sum(), want)
 	}
 }
+
+// TestRegistryConcurrentFirstUse races series *creation*, not just updates:
+// many goroutines resolve the same (name, labels) series for the first time
+// simultaneously, as concurrent HTTP requests on one route do. Family and
+// series resolution must share one critical section and converge on one
+// instance — the counter totals only add up if every goroutine got the
+// same counter.
+func TestRegistryConcurrentFirstUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	counters := make([]*Counter, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("first_use_total", "c", "route", "submit")
+			c.Inc()
+			counters[w] = c
+			r.Gauge("first_use_gauge", "g", "route", "submit").Inc()
+			r.Histogram("first_use_seconds", "h", []float64{1}, "route", "submit").Observe(0.5)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if counters[w] != counters[0] {
+			t.Fatalf("goroutine %d resolved a different counter instance", w)
+		}
+	}
+	if got := counters[0].Value(); got != workers {
+		t.Errorf("counter = %d, want %d (lost first-use registrations)", got, workers)
+	}
+}

@@ -1,0 +1,353 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// drive pushes n items for key at time now, returning admitted count.
+func drive(t *testing.T, r *Registry, key string, n int, now int64) int {
+	t.Helper()
+	ten, err := r.Lookup(key)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", key, err)
+	}
+	admitted := 0
+	for i := 0; i < n; i++ {
+		if err := r.Enqueue(ten, fmt.Sprintf("%s-%d", key, i), now); err == nil {
+			admitted++
+		}
+	}
+	return admitted
+}
+
+func TestLookupAutoRegisterAndIdentity(t *testing.T) {
+	r := NewRegistry(Config{})
+	a, err := r.Lookup("secret-key-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == "secret-key-a" || a.ID() == "" {
+		t.Errorf("tenant ID %q must be a hash, never the raw key", a.ID())
+	}
+	b, _ := r.Lookup("secret-key-a")
+	if a != b {
+		t.Error("same key resolved to two tenants")
+	}
+	anon, _ := r.Lookup("")
+	if anon.ID() != AnonymousID {
+		t.Errorf("empty key tenant ID = %q, want %q", anon.ID(), AnonymousID)
+	}
+}
+
+func TestPinnedTenantsKeepNameAndLimits(t *testing.T) {
+	r := NewRegistry(Config{
+		Defaults: Limits{MaxQueued: 1},
+		Pinned: []Pinned{
+			{Name: "gold", Key: "k-gold", Limits: Limits{MaxQueued: 10, Weight: 3}},
+			{Name: "plain", Key: "k-plain"}, // zero Limits: inherits defaults
+		},
+	})
+	g, err := r.Lookup("k-gold")
+	if err != nil || g.ID() != "gold" || !g.Pinned() {
+		t.Fatalf("gold lookup: %v %+v", err, g)
+	}
+	if g.Limits().MaxQueued != 10 || g.Limits().weight() != 3 {
+		t.Errorf("gold limits not applied: %+v", g.Limits())
+	}
+	p, _ := r.Lookup("k-plain")
+	if p.Limits().MaxQueued != 1 {
+		t.Errorf("pinned tenant with zero limits should inherit defaults, got %+v", p.Limits())
+	}
+}
+
+func TestBoundedFIFORetention(t *testing.T) {
+	r := NewRegistry(Config{MaxTenants: 2})
+	a, _ := r.Lookup("ka")
+	if _, err := r.Lookup("kb"); err != nil {
+		t.Fatal(err)
+	}
+	// Make a busy so only b is evictable.
+	if err := r.Enqueue(a, "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Lookup("kc") // evicts b (oldest idle), not a
+	if err != nil {
+		t.Fatalf("third tenant should evict the idle one: %v", err)
+	}
+	if _, ok := r.byKey["kb"]; ok {
+		t.Error("kb should have been evicted")
+	}
+	if _, ok := r.byKey["ka"]; !ok {
+		t.Error("busy tenant ka must never be evicted")
+	}
+	// Now both a and c busy: registration must fail loudly, not grow.
+	if err := r.Enqueue(c, "y", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Lookup("kd")
+	var le *LimitError
+	if !errors.As(err, &le) || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("exhausted table: err = %v, want ErrExhausted LimitError", err)
+	}
+}
+
+func TestTokenBucketDeterministicRefill(t *testing.T) {
+	r := NewRegistry(Config{Defaults: Limits{Rate: 2, Burst: 2}})
+	ten, _ := r.Lookup("k")
+	const now0 = int64(1_000_000_000)
+	// Full bucket at first sight: burst of 2 admitted, third rate-limited.
+	for i := 0; i < 2; i++ {
+		if err := r.Enqueue(ten, i, now0); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	err := r.Enqueue(ten, 2, now0)
+	var le *LimitError
+	if !errors.As(err, &le) || !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("empty bucket: err = %v, want ErrRateLimited", err)
+	}
+	// Retry hint is the deterministic time to the next token: 0.5s at 2/s.
+	if le.RetryAfterNanos != 500_000_000 {
+		t.Errorf("RetryAfterNanos = %d, want 500ms", le.RetryAfterNanos)
+	}
+	// 499ms later: still short. 500ms later: exactly one token.
+	if err := r.Enqueue(ten, 3, now0+499_000_000); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("499ms: err = %v, want rate limited", err)
+	}
+	if err := r.Enqueue(ten, 3, now0+500_000_000); err != nil {
+		t.Errorf("500ms: err = %v, want admitted", err)
+	}
+	// Bucket never exceeds burst: a long sleep buys at most 2 tokens.
+	if got := drive(t, r, "k", 5, now0+100_000_000_000); got != 2 {
+		t.Errorf("after long idle admitted %d, want burst 2", got)
+	}
+}
+
+func TestQueueAndInFlightCaps(t *testing.T) {
+	r := NewRegistry(Config{Defaults: Limits{MaxQueued: 2, MaxInFlight: 3}})
+	ten, _ := r.Lookup("k")
+	for i := 0; i < 2; i++ {
+		if err := r.Enqueue(ten, i, 0); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := r.Enqueue(ten, 9, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queued cap: err = %v, want ErrQueueFull", err)
+	}
+	// Drain both to running: queued 0, running 2. One more submit fills
+	// in-flight (1 queued + 2 running = 3); the next trips the cap with the
+	// queue still under its own bound.
+	for i := 0; i < 2; i++ {
+		if _, _, ok := r.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+	if err := r.Enqueue(ten, 10, 0); err != nil {
+		t.Fatalf("refill queue: %v", err)
+	}
+	if err := r.Enqueue(ten, 11, 0); !errors.Is(err, ErrInFlightLimit) {
+		t.Fatalf("in-flight cap: err = %v, want ErrInFlightLimit", err)
+	}
+	// A finished job frees an in-flight slot.
+	r.Finish(ten)
+	if err := r.Enqueue(ten, 12, 0); err != nil {
+		t.Fatalf("after Finish: %v", err)
+	}
+}
+
+func TestStreamCap(t *testing.T) {
+	r := NewRegistry(Config{Defaults: Limits{MaxStreams: 1}})
+	ten, _ := r.Lookup("k")
+	if err := r.AcquireStream(ten); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AcquireStream(ten); !errors.Is(err, ErrStreamLimit) {
+		t.Fatalf("stream cap: err = %v, want ErrStreamLimit", err)
+	}
+	r.ReleaseStream(ten)
+	if err := r.AcquireStream(ten); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestWeightedRoundRobinFairness: with tenants A (weight 1) and B (weight
+// 2) both saturated, the dequeue order serves B twice per A once — and a
+// flooding third tenant cannot push either below its share.
+func TestWeightedRoundRobinFairness(t *testing.T) {
+	r := NewRegistry(Config{Pinned: []Pinned{
+		{Name: "a", Key: "ka", Limits: Limits{Weight: 1}},
+		{Name: "b", Key: "kb", Limits: Limits{Weight: 2}},
+	}})
+	a, _ := r.Lookup("ka")
+	b, _ := r.Lookup("kb")
+	for i := 0; i < 6; i++ {
+		if err := r.Enqueue(a, fmt.Sprintf("a%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if err := r.Enqueue(b, fmt.Sprintf("b%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for {
+		item, ten, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, item.(string))
+		r.Finish(ten)
+	}
+	if len(order) != 18 {
+		t.Fatalf("dequeued %d items, want 18", len(order))
+	}
+	// First 9 dequeues: a gets 3 (one per turn), b gets 6 (two per turn).
+	aServed := 0
+	for _, it := range order[:9] {
+		if it[0] == 'a' {
+			aServed++
+		}
+	}
+	if aServed != 3 {
+		t.Errorf("first 9 dequeues served a %d times, want 3 (weights 1:2): %v", aServed, order[:9])
+	}
+	// FIFO within each tenant.
+	lastA, lastB := -1, -1
+	for _, it := range order {
+		var n int
+		fmt.Sscanf(it[1:], "%d", &n)
+		if it[0] == 'a' {
+			if n <= lastA {
+				t.Fatalf("a's items out of FIFO order: %v", order)
+			}
+			lastA = n
+		} else {
+			if n <= lastB {
+				t.Fatalf("b's items out of FIFO order: %v", order)
+			}
+			lastB = n
+		}
+	}
+}
+
+// TestNoStarvationUnderFlood: one abusive tenant with a huge backlog cannot
+// delay a well-behaved tenant's single job by more than one WRR turn.
+func TestNoStarvationUnderFlood(t *testing.T) {
+	r := NewRegistry(Config{})
+	abusive, _ := r.Lookup("abusive")
+	for i := 0; i < 1000; i++ {
+		if err := r.Enqueue(abusive, i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, _ := r.Lookup("good")
+	if err := r.Enqueue(good, "the-one-job", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The good tenant's job must surface within 2 dequeues (one abusive
+	// serve for the in-progress turn, then the turn passes).
+	for i := 0; i < 2; i++ {
+		item, _, ok := r.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		if item == "the-one-job" {
+			return
+		}
+	}
+	t.Fatal("well-behaved tenant starved behind a 1000-job flood")
+}
+
+func TestDequeueEmpty(t *testing.T) {
+	r := NewRegistry(Config{})
+	if _, _, ok := r.Dequeue(); ok {
+		t.Error("empty registry dequeued something")
+	}
+	ten, _ := r.Lookup("k")
+	if err := r.Enqueue(ten, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Dequeue()
+	if _, _, ok := r.Dequeue(); ok {
+		t.Error("drained registry dequeued something")
+	}
+	if r.QueuedTotal() != 0 {
+		t.Errorf("QueuedTotal = %d, want 0", r.QueuedTotal())
+	}
+}
+
+// TestEvictionKeepsRoundRobinConsistent: evicting tenants positioned
+// before, at, and after the cursor leaves the ring traversal valid.
+func TestEvictionKeepsRoundRobinConsistent(t *testing.T) {
+	r := NewRegistry(Config{MaxTenants: 3})
+	a, _ := r.Lookup("ka")
+	b, _ := r.Lookup("kb")
+	c, _ := r.Lookup("kc")
+	// Occupy b and c; advance the cursor onto b by serving a.
+	if err := r.Enqueue(a, "a0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enqueue(b, "b0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enqueue(c, "c0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if item, _, _ := r.Dequeue(); item != "a0" {
+		t.Fatalf("first dequeue %v, want a0", item)
+	}
+	r.Finish(a)
+	// a is now idle; registering a fourth tenant evicts it (index 0,
+	// before the cursor).
+	if _, err := r.Lookup("kd"); err != nil {
+		t.Fatal(err)
+	}
+	if item, _, _ := r.Dequeue(); item != "b0" {
+		t.Fatal("cursor lost after eviction before it")
+	}
+	if item, _, _ := r.Dequeue(); item != "c0" {
+		t.Fatal("ring order broken after eviction")
+	}
+	if r.QueuedTotal() != 0 {
+		t.Errorf("QueuedTotal = %d, want 0", r.QueuedTotal())
+	}
+}
+
+// TestDeterministicReplay: the registry's decisions are a pure function of
+// the (nanos, op) sequence — two registries fed the same script agree on
+// every outcome.
+func TestDeterministicReplay(t *testing.T) {
+	script := func(r *Registry) []string {
+		var log []string
+		keys := []string{"a", "b", "a", "c", "b", "a"}
+		for i, k := range keys {
+			ten, err := r.Lookup(k)
+			if err != nil {
+				log = append(log, "lookup-err")
+				continue
+			}
+			now := int64(i) * 100_000_000
+			if err := r.Enqueue(ten, fmt.Sprintf("%s%d", k, i), now); err != nil {
+				log = append(log, fmt.Sprintf("shed:%v", errors.Unwrap(err)))
+			} else {
+				log = append(log, "ok")
+			}
+			if i%2 == 1 {
+				if item, ten, ok := r.Dequeue(); ok {
+					log = append(log, fmt.Sprintf("pop:%v", item))
+					r.Finish(ten)
+				}
+			}
+		}
+		return log
+	}
+	cfg := Config{Defaults: Limits{Rate: 5, Burst: 1, MaxQueued: 2}}
+	l1 := script(NewRegistry(cfg))
+	l2 := script(NewRegistry(cfg))
+	if fmt.Sprint(l1) != fmt.Sprint(l2) {
+		t.Errorf("replay diverged:\n%v\n%v", l1, l2)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments load
+.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments load store
 
 all: build test
 
@@ -74,6 +74,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLCLCheck -fuzztime=5s ./internal/lcl
 	$(GO) test -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/fault
 	$(GO) test -run='^$$' -fuzz=FuzzIdentityKey -fuzztime=5s ./internal/jobs
+	$(GO) test -run='^$$' -fuzz=FuzzStoreRecord -fuzztime=5s ./internal/store
 
 # Observability gate (CI, tier 1): the telemetry layer's inertness contract
 # (DESIGN.md §9). localvet's obsinert analyzer proves hot paths never consume
@@ -105,6 +106,16 @@ load:
 	$(GO) test -race -count=1 -run 'TestMultiTenantFairnessE2E' -v ./cmd/localityd
 	$(GO) build -o /tmp/localityd-load ./cmd/localityd
 	$(GO) run ./cmd/localload -spawn -localityd-bin /tmp/localityd-load -artifact-dir loadbaseline
+
+# Result-store gate (CI): the content-addressed cache under the race
+# detector — segment encode/decode, torn-tail and corruption recovery,
+# eviction, concurrent access — plus the pool/daemon integration tests:
+# the byte-identity differential (incl. kill-and-reopen), cache-hit SSE
+# replay, retention eviction, and the across-restart HTTP serving test
+# (DESIGN.md §13).
+store:
+	$(GO) test -race -count=1 ./internal/store
+	$(GO) test -race -count=1 -run 'TestStore|TestRetention' ./internal/jobs ./cmd/localityd
 
 # Regenerate the full-scale EXPERIMENTS.md tables (takes minutes).
 experiments:

@@ -15,9 +15,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"time"
 
+	"locality/internal/artifact"
 	"locality/internal/harness"
 )
 
@@ -115,18 +115,11 @@ func benchOne(id string, cfg harness.Config, minTime time.Duration, minIters int
 	return e, nil
 }
 
-// latestBaseline returns the lexically latest BENCH_*.json in dir, or "" when
-// none exists.
+// latestBaseline returns the lexically latest usable BENCH_*.json in dir
+// (zero-length debris skipped — see internal/artifact), or "" when none
+// exists.
 func latestBaseline(dir string) (string, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
-	if err != nil {
-		return "", err
-	}
-	if len(matches) == 0 {
-		return "", nil
-	}
-	sort.Strings(matches)
-	return matches[len(matches)-1], nil
+	return artifact.Latest(dir, "BENCH")
 }
 
 // regression describes one experiment exceeding the ns/op threshold.

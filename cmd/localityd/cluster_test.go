@@ -108,7 +108,7 @@ func testClusterFrontend(t *testing.T, reportDir string, workerURLs ...string) (
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := newClusterServer(coord, 16, reg, reportDir)
+	cs := newClusterServer(coord, 16, reg, reportDir, nil)
 	ts := httptest.NewServer(cs.handler(10*time.Second, 64))
 	t.Cleanup(func() {
 		ts.Close()

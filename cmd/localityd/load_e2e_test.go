@@ -80,15 +80,20 @@ func TestMultiTenantFairnessE2E(t *testing.T) {
 	if res.AbuseSheds == 0 {
 		t.Error("abusive flood was never shed — the quota layer did nothing")
 	}
-	// Every phase ran: solo, contended, abuse, duplicate, stream (no chaos
-	// in-process — there is no child to signal).
-	want := map[string]bool{"solo": false, "contended": false, "abuse": false, "duplicate": false, "stream": false}
+	// Every phase ran: solo, contended, abuse, duplicate, stream, cache (no
+	// chaos in-process — there is no child to signal).
+	want := map[string]bool{"solo": false, "contended": false, "abuse": false, "duplicate": false, "stream": false, "cache": false}
 	for _, ph := range res.Phases {
 		if _, ok := want[ph.Name]; ok {
 			want[ph.Name] = true
 		}
+		// This server has no result store, so every warm cache-phase answer
+		// must come from the idempotent dedup tier.
+		if ph.Name == "cache" && ph.Deduped == 0 {
+			t.Errorf("cache phase: no deduped warm hits (result: %+v)", ph)
+		}
 	}
-	for _, name := range []string{"solo", "contended", "abuse", "duplicate", "stream"} {
+	for _, name := range []string{"solo", "contended", "abuse", "duplicate", "stream", "cache"} {
 		if !want[name] {
 			t.Errorf("phase %s missing from result", name)
 		}

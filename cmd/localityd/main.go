@@ -58,6 +58,7 @@ import (
 	"locality/internal/harness"
 	"locality/internal/jobs"
 	"locality/internal/obs"
+	"locality/internal/store"
 	"locality/internal/tenant"
 )
 
@@ -336,6 +337,9 @@ func main() {
 		workers        = flag.Int("workers", 2, "concurrent experiment runners")
 		queueDepth     = flag.Int("queue", 16, "submission queue bound (excess is shed)")
 		checkpointDir  = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty = in-memory only)")
+		storeDir       = flag.String("store-dir", "", "directory for the persistent content-addressed result cache (empty = disabled)")
+		storeMaxBytes  = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "result-cache byte budget; oldest segments are evicted past it")
+		retention      = flag.Int("retention", 4096, "terminal jobs kept pollable; the oldest (and their dedup entries) are evicted past it (0 = unlimited)")
 		retryBudget    = flag.Int("retry", 1, "attempts per job for transient failures")
 		retryBase      = flag.Duration("retry-base", 100*time.Millisecond, "base backoff between retry attempts")
 		retryMax       = flag.Duration("retry-max", 5*time.Second, "backoff cap")
@@ -371,6 +375,7 @@ func main() {
 			},
 			queueDepth: *queueDepth,
 			reportDir:  *reportDir,
+			store:      storeConfig{dir: *storeDir, maxBytes: *storeMaxBytes},
 		}
 		if err := serveCluster(ln, cfg, *drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
 			log.Fatal(err)
@@ -393,9 +398,27 @@ func main() {
 		ReportDir:     *reportDir,
 		Tenancy:       tcfg,
 		Idempotent:    *idempotent,
-	}, *drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
+		Retention:     *retention,
+	}, storeConfig{dir: *storeDir, maxBytes: *storeMaxBytes},
+		*drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// storeConfig carries the -store-dir flag set; the zero value disables the
+// persistent result cache.
+type storeConfig struct {
+	dir      string
+	maxBytes int64
+}
+
+// open builds the result store, registering its metrics on reg. A nil
+// store (empty dir) is legal everywhere downstream.
+func (c storeConfig) open(reg *obs.Registry) (*store.Store, error) {
+	if c.dir == "" {
+		return nil, nil
+	}
+	return store.Open(store.Options{Dir: c.dir, MaxBytes: c.maxBytes, Metrics: reg})
 }
 
 // loadTenants reads the -tenants-file JSON (a tenant.Config: default
@@ -418,12 +441,12 @@ func loadTenants(path string) (*tenant.Config, error) {
 }
 
 // run resolves the listen address; serve owns the lifecycle.
-func run(addr string, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
+func run(addr string, poolOpts jobs.Options, sc storeConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("localityd: listen: %w", err)
 	}
-	return serve(ln, poolOpts, drainTimeout, requestTimeout, maxInflight, pprofAddr)
+	return serve(ln, poolOpts, sc, drainTimeout, requestTimeout, maxInflight, pprofAddr)
 }
 
 // pprofHandler routes the net/http/pprof endpoints. It backs the opt-in
@@ -443,9 +466,17 @@ func pprofHandler() http.Handler {
 // SIGTERM/SIGINT, then drains: readiness flips, the pool runs down to the
 // drain deadline (checkpointing whatever it must cancel), and every
 // goroutine is reaped before serve returns.
-func serve(ln net.Listener, poolOpts jobs.Options, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
+func serve(ln net.Listener, poolOpts jobs.Options, sc storeConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	reg := obs.NewRegistry()
 	poolOpts.Metrics = reg
+	st, err := sc.open(reg)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer st.Close()
+		poolOpts.Store = st
+	}
 	pool := jobs.New(poolOpts)
 	s := newServer(pool, maxInflight, requestTimeout, reg)
 	return serveUntilSignal(ln, s.handler(), pprofAddr, "localityd", drainTimeout, s.drain)

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"locality/internal/jobs"
+	"locality/internal/obs"
+)
+
+// storeServer is testServer plus a persistent result cache on dir — one
+// "daemon generation" the restart test can tear down and rebuild.
+func storeServer(t *testing.T, dir string, opts jobs.Options) (*httptest.Server, func() string, func()) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st, err := storeConfig{dir: dir}.open(reg)
+	if err != nil {
+		t.Fatalf("storeConfig.open: %v", err)
+	}
+	opts.Metrics = reg
+	opts.Store = st
+	pool := jobs.New(opts)
+	s := newServer(pool, 64, 10*time.Second, reg)
+	ts := httptest.NewServer(s.handler())
+	shutdown := func() {
+		ts.Close()
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.drain(drainCtx)
+		st.Close()
+	}
+	metrics := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("metrics body: %v", err)
+		}
+		return string(data)
+	}
+	return ts, metrics, shutdown
+}
+
+// TestStoreServesAcrossRestart is the daemon-level acceptance scenario: a
+// localityd computes a sweep, dies, and its successor on the same
+// -store-dir serves the identical submit from the persistent cache — hit
+// visible on /metrics, no batch recomputed, table byte-identical.
+func TestStoreServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"experiment":"E8","quick":true,"seed":21}`
+
+	// Generation 1 computes and writes through.
+	ts1, metrics1, shutdown1 := storeServer(t, dir, jobs.Options{Workers: 2})
+	var res jobs.SubmitResult
+	resp := submit(t, ts1.URL, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("gen1 submit: %d", resp.StatusCode)
+	}
+	decode(t, resp, &res)
+	if res.Cached {
+		t.Fatalf("gen1 cold submit reported cached")
+	}
+	cold := pollJob(t, ts1.URL, res.ID)
+	if cold.State != jobs.StateSucceeded || cold.Output == "" {
+		t.Fatalf("gen1 job: state %s, error %q", cold.State, cold.Error)
+	}
+	if m := metrics1(); !strings.Contains(m, "locality_store_misses_total 1") {
+		t.Errorf("gen1 metrics missing the cold miss:\n%s", grepStoreLines(m))
+	}
+	shutdown1()
+
+	// Generation 2, same directory: the identical submit is already
+	// terminal in the 202 response — it never re-entered the worker pool.
+	ts2, metrics2, shutdown2 := storeServer(t, dir, jobs.Options{Workers: 2})
+	defer shutdown2()
+	resp = submit(t, ts2.URL, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("gen2 submit: %d", resp.StatusCode)
+	}
+	var warmRes jobs.SubmitResult
+	decode(t, resp, &warmRes)
+	if !warmRes.Cached {
+		t.Fatalf("gen2 submit missed the store: %+v", warmRes)
+	}
+	warm, ok := jobGet(t, ts2.URL, warmRes.ID)
+	if !ok || warm.State != jobs.StateSucceeded {
+		t.Fatalf("gen2 cached job not immediately terminal: %+v", warm)
+	}
+	if warm.Output != cold.Output {
+		t.Fatalf("cached table differs from computed table")
+	}
+	if warm.BatchesDone != cold.BatchesDone {
+		t.Errorf("cached BatchesDone = %d, computed %d", warm.BatchesDone, cold.BatchesDone)
+	}
+	m := metrics2()
+	if !strings.Contains(m, "locality_store_hits_total 1") {
+		t.Errorf("store hit not visible on /metrics:\n%s", grepStoreLines(m))
+	}
+	// No worker ran: the pool recorded zero row batches this generation.
+	if strings.Contains(m, "locality_jobs_batches_total") &&
+		!strings.Contains(m, "locality_jobs_batches_total 0") {
+		t.Errorf("gen2 recomputed batches for a cached submit:\n%s", grepStoreLines(m))
+	}
+}
+
+// jobGet fetches one snapshot without polling — the cached path must be
+// terminal on the very first read.
+func jobGet(t *testing.T, base, id string) (jobs.Job, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return jobs.Job{}, false
+	}
+	var j jobs.Job
+	decode(t, resp, &j)
+	return j, true
+}
+
+// grepStoreLines trims a /metrics dump to the store- and batch-relevant
+// lines so failures stay readable.
+func grepStoreLines(m string) string {
+	var keep []string
+	for _, line := range strings.Split(m, "\n") {
+		if strings.Contains(line, "locality_store_") || strings.Contains(line, "locality_jobs_batches_total") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}

@@ -62,7 +62,18 @@ func TestRetryAfterDerivation(t *testing.T) {
 		{"rate limit refill deficit rounds up", rateShed(int64(1500 * time.Millisecond)), 2},
 		{"rate limit exact second", rateShed(int64(time.Second)), 1},
 		{"rate limit sub-second floors to 1", rateShed(int64(10 * time.Millisecond)), 1},
+		// Sub-second boundary sweep: a wait of even 1ns must never render
+		// Retry-After: 0 — that reads as "retry now" and invites a tight
+		// client retry loop against a bucket that cannot have refilled.
+		{"rate limit 1ns renders 1", rateShed(1), 1},
+		{"rate limit 999999999ns renders 1", rateShed(int64(time.Second) - 1), 1},
+		{"rate limit just over a second rounds to 2", rateShed(int64(time.Second) + 1), 2},
+		{"rate limit exactly 30s stays 30", rateShed(int64(30 * time.Second)), 30},
+		{"rate limit just under clamp rounds into it", rateShed(int64(30*time.Second) - 1), 30},
 		{"rate limit clamps to 30", rateShed(int64(10 * time.Minute)), 30},
+		// A zero RetryAfterNanos means "no bucket hint" (the tenant bucket
+		// always emits >= 1ns): derivation falls back to queue occupancy.
+		{"rate limit absent hint falls back to occupancy", rateShed(0), 2},
 		{"draining", jobs.ErrDraining, 5},
 		{"draining wrapped in shed", &jobs.ShedError{Reason: jobs.ErrDraining, QueueLen: 9, QueueCap: 16, Workers: 1}, 5},
 		{"queue occupancy over workers", &jobs.ShedError{Reason: jobs.ErrQueueFull, QueueLen: 10, QueueCap: 16, Workers: 2}, 5},
@@ -403,7 +414,7 @@ func TestSSEDrainOnSIGTERM(t *testing.T) {
 			time.Sleep(20 * time.Millisecond) // keep the job alive past SIGTERM
 		}}
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, opts, 150*time.Millisecond, 5*time.Second, 64, "") }()
+	go func() { done <- serve(ln, opts, storeConfig{}, 150*time.Millisecond, 5*time.Second, 64, "") }()
 
 	waitHTTP(t, base+"/healthz", http.StatusOK, 10*time.Second)
 	resp := submit(t, base, `{"experiment":"E12","quick":true,"seed":9}`)

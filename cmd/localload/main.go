@@ -192,6 +192,10 @@ func spawnDaemon(ctx context.Context, bin string, workers int, goodKey, abuseKey
 		"-queue", "64",
 		"-tenants-file", tenantsFile,
 		"-drain-timeout", "10s",
+		// The persistent result store under the run's temp dir gives the
+		// cache phase its second answer tier (store hits behind the dedup
+		// map) and exercises the write-through path under load.
+		"-store-dir", filepath.Join(dir, "store"),
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

@@ -64,6 +64,8 @@ var leafExemptions = []analysis.FuncExemption{
 		Reason: "run-report timing is wall-clock telemetry by design; confined to clock.go's two helpers"},
 	{Func: "locality/internal/obs.since", Kind: "wallclock",
 		Reason: "run-report timing is wall-clock telemetry by design; confined to clock.go's two helpers"},
+	{Func: "locality/internal/store.nowNanos", Kind: "wallclock",
+		Reason: "result-store records carry a stored-at stamp for operators; write-only telemetry, never read back into cache decisions"},
 }
 
 // wallclockAllowFuncs projects the wallclock rows of leafExemptions for

@@ -1,0 +1,37 @@
+// Package artifact centralizes baseline-artifact selection for the perf
+// gates. Both the bench gate (BENCH_<stamp>.json, cmd/localbench) and the
+// load gate (LOAD_<stamp>.json, internal/load, consumed by cmd/localload)
+// compare a fresh run against the lexically latest prior artifact in a
+// directory — stamps are fixed-width UTC timestamps, so lexical order is
+// run order without parsing anything. This package is that selection,
+// once: previously each gate carried its own copy with diverging edge-case
+// behavior (zero-length debris from a crashed writer could be picked as a
+// baseline and fail the parse, turning one bad file into a red gate).
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Latest returns the lexically latest <prefix>_*.json file in dir, skipping
+// zero-length files — a crashed writer's debris is not a baseline, and the
+// newest usable artifact behind it still is. A missing directory or no
+// usable candidate returns "": the absence of a baseline is the first run,
+// not an error.
+func Latest(dir, prefix string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, prefix+"_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	for i := len(paths) - 1; i >= 0; i-- {
+		info, err := os.Stat(paths[i])
+		if err != nil || info.IsDir() || info.Size() == 0 {
+			continue
+		}
+		return paths[i], nil
+	}
+	return "", nil
+}

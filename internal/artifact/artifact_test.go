@@ -1,0 +1,61 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestPicksLexicallyLast(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "LOAD_20260101T000000Z.json", "{}")
+	write(t, dir, "LOAD_20260301T000000Z.json", "{}")
+	write(t, dir, "LOAD_20260201T000000Z.json", "{}")
+	got, err := Latest(dir, "LOAD")
+	if err != nil || filepath.Base(got) != "LOAD_20260301T000000Z.json" {
+		t.Fatalf("Latest = %q, %v", got, err)
+	}
+}
+
+func TestLatestSkipsZeroLength(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_20260101T000000Z.json", "{}")
+	write(t, dir, "BENCH_20260301T000000Z.json", "") // crashed writer
+	got, err := Latest(dir, "BENCH")
+	if err != nil || filepath.Base(got) != "BENCH_20260101T000000Z.json" {
+		t.Fatalf("Latest = %q, %v; want the non-empty predecessor", got, err)
+	}
+}
+
+func TestLatestIgnoresNonMatching(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "LOAD_20260101T000000Z.json", "{}")
+	write(t, dir, "BENCH_20260301T000000Z.json", "{}")
+	write(t, dir, "notes.json", "{}")
+	got, err := Latest(dir, "LOAD")
+	if err != nil || filepath.Base(got) != "LOAD_20260101T000000Z.json" {
+		t.Fatalf("Latest = %q, %v", got, err)
+	}
+}
+
+func TestLatestEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	if got, err := Latest(dir, "LOAD"); got != "" || err != nil {
+		t.Fatalf("empty dir: %q, %v", got, err)
+	}
+	if got, err := Latest(filepath.Join(dir, "nope"), "LOAD"); got != "" || err != nil {
+		t.Fatalf("missing dir: %q, %v", got, err)
+	}
+	// All candidates zero-length: no usable baseline.
+	write(t, dir, "LOAD_20260101T000000Z.json", "")
+	if got, err := Latest(dir, "LOAD"); got != "" || err != nil {
+		t.Fatalf("all-empty dir: %q, %v", got, err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"locality/internal/harness"
 	"locality/internal/obs"
 	"locality/internal/rng"
+	"locality/internal/store"
 	"locality/internal/tenant"
 )
 
@@ -64,6 +65,20 @@ type Options struct {
 	// that job (SubmitResult.Deduped) instead of enqueueing work. Failed
 	// and cancelled jobs do not dedup — resubmitting one recomputes.
 	Idempotent bool
+	// Store, when non-nil, is the persistent content-addressed result
+	// cache (internal/store). An unsharded submit whose determinism
+	// identity hits the store returns an already-succeeded job without
+	// entering the queue — charged to the tenant as a cheap admission
+	// (rate token only, no queue or in-flight slot) — and every unsharded
+	// success writes its rendered table through. Soundness rests on
+	// IdentityKey covering everything the output depends on (see
+	// identity.go): cached and freshly-computed tables are byte-identical.
+	Store *store.Store
+	// Retention bounds how many terminal jobs stay pollable: past it, the
+	// oldest terminal jobs are dropped FIFO, each taking its idempotency-
+	// map entry with it — the dedup map cannot outgrow the job table.
+	// 0 retains everything (tests, short-lived pools).
+	Retention int
 
 	// nowNanos overrides the monotonic clock feeding the tenant registry's
 	// token buckets. Tests only; nil uses the process monotonic clock.
@@ -96,6 +111,7 @@ func (o Options) retryBudget() int {
 type job struct {
 	id       string
 	spec     Spec
+	ikey     string // determinism identity, when dedup or the result store needs it
 	num      int    // submission order, for List
 	tenantID string // admitting tenant's public ID
 
@@ -135,6 +151,7 @@ type Pool struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	identity map[string]*job // IdentityKey -> job, when Options.Idempotent
+	done     []string        // terminal job IDs in completion order, for Retention
 	tenants  *tenant.Registry
 	nextNum  int
 	draining bool
@@ -199,6 +216,10 @@ type SubmitResult struct {
 	// job with the same determinism identity, and no new work was enqueued
 	// (and no quota was charged).
 	Deduped bool `json:"deduped,omitempty"`
+	// Cached reports a result-store hit: ID names a fresh job that was
+	// born succeeded from the persistent cache — no work was enqueued, and
+	// the tenant was charged a rate token but no queue or in-flight slot.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Submit enqueues a job on behalf of the anonymous tenant and returns its
@@ -242,8 +263,10 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 		return shed(ErrDraining)
 	}
 	var ikey string
-	if p.opts.Idempotent {
+	if p.opts.Idempotent || p.opts.Store != nil {
 		ikey = spec.IdentityKey()
+	}
+	if p.opts.Idempotent {
 		if prev, ok := p.identity[ikey]; ok &&
 			prev.state != StateFailed && prev.state != StateCancelled {
 			p.metrics.deduped.Inc()
@@ -256,6 +279,45 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 		p.metrics.tenantShed(nil, err)
 		return shed(err)
 	}
+	// Result-store consult — after the dedup check, so concurrent
+	// duplicates of a live job keep collapsing onto one ID rather than
+	// minting per-submit cached jobs. An unsharded spec whose result is
+	// already stored completes here: the job is born succeeded, enters no
+	// queue, and holds no slot, so the tenant pays the rate token only.
+	// (Sharded specs are excluded end to end: their product is a
+	// checkpoint, not a table, and the coordinator caches the merged
+	// result instead.)
+	if p.opts.Store != nil && spec.Rows == nil {
+		if res, ok := p.opts.Store.Get(ikey); ok {
+			if err := p.tenants.Admit(ten, p.now()); err != nil {
+				p.metrics.shedQuota.Inc()
+				p.metrics.tenantShed(ten, err)
+				return shed(err)
+			}
+			j := &job{
+				id:          fmt.Sprintf("job-%d", p.nextNum),
+				num:         p.nextNum,
+				spec:        spec,
+				ikey:        ikey,
+				tenantID:    ten.ID(),
+				ctx:         p.baseCtx,
+				cancel:      func() {}, // nothing to cancel: born terminal
+				state:       StateSucceeded,
+				output:      res.Output,
+				batchesDone: res.Batches,
+			}
+			p.nextNum++
+			p.jobs[j.id] = j
+			if p.opts.Idempotent {
+				p.identity[ikey] = j
+			}
+			p.retainLocked(j)
+			p.metrics.submitted.Inc()
+			p.metrics.tenantAdmit(ten)
+			p.metrics.terminal(StateSucceeded)
+			return SubmitResult{ID: j.id, Tenant: ten.ID(), Cached: true}, nil
+		}
+	}
 	if p.tenants.QueuedTotal() >= p.opts.queueDepth() {
 		p.metrics.shedFull.Inc()
 		p.metrics.tenantShed(ten, ErrQueueFull)
@@ -266,6 +328,7 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 		id:       fmt.Sprintf("job-%d", p.nextNum),
 		num:      p.nextNum,
 		spec:     spec,
+		ikey:     ikey,
 		tenantID: ten.ID(),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -477,6 +540,8 @@ func (p *Pool) runJob(j *job, ten *tenant.Tenant) {
 	if final == nil {
 		j.state = StateSucceeded
 		j.output = table
+		batches := j.batchesDone
+		p.retainLocked(j)
 		p.tenants.Finish(ten)
 		subs := j.takeSubsLocked()
 		p.mu.Unlock()
@@ -484,9 +549,14 @@ func (p *Pool) runJob(j *job, ten *tenant.Tenant) {
 		p.metrics.terminal(StateSucceeded)
 		// A sharded job's checkpoint IS its product: keep the file so a
 		// resubmitted shard (coordinator retry, restarted worker) replays to
-		// instant completion instead of recomputing.
+		// instant completion instead of recomputing. An unsharded success
+		// drops its checkpoint and writes the rendered table through to the
+		// result store — the next identical submit completes at admission.
 		if j.spec.Rows == nil {
 			p.store.clear(j.spec)
+			if p.opts.Store != nil {
+				p.opts.Store.Put(j.ikey, store.Result{Output: table, Batches: batches})
+			}
 		}
 		return
 	}
@@ -505,7 +575,36 @@ func (p *Pool) finishLocked(j *job, err error) {
 	} else {
 		j.state = StateFailed
 	}
+	p.retainLocked(j)
 	p.metrics.terminal(j.state)
+}
+
+// retainLocked records j's terminal transition and enforces
+// Options.Retention: past the bound, the oldest terminal jobs fall off the
+// FIFO, each deleted from the job table together with any idempotency-map
+// entry still pointing at it — so a long-lived idempotent pool's dedup map
+// shrinks with its jobs instead of holding one entry per distinct spec
+// forever. Queued and running jobs are never evicted (they are not in the
+// FIFO yet). Callers hold the pool mutex.
+func (p *Pool) retainLocked(j *job) {
+	if p.opts.Retention <= 0 {
+		return
+	}
+	p.done = append(p.done, j.id)
+	for len(p.done) > p.opts.Retention {
+		id := p.done[0]
+		p.done = p.done[1:]
+		old, ok := p.jobs[id]
+		if !ok {
+			continue
+		}
+		delete(p.jobs, id)
+		if old.ikey != "" {
+			if cur, ok := p.identity[old.ikey]; ok && cur == old {
+				delete(p.identity, old.ikey)
+			}
+		}
+	}
 }
 
 // attempt runs the experiment driver once, under panic isolation: a

@@ -1,0 +1,164 @@
+package jobs_test
+
+import (
+	"strings"
+	"testing"
+
+	"locality/internal/jobs"
+	"locality/internal/obs"
+	"locality/internal/store"
+)
+
+func openStoreT(t *testing.T, dir string, reg *obs.Registry) *store.Store {
+	t.Helper()
+	s, err := store.Open(store.Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestStoreDifferentialByteIdentity is the tentpole's acceptance test:
+// cached and freshly-computed sweep tables are byte-identical, including
+// after a kill-and-reopen of the store, and a cache hit completes at submit
+// time without re-entering the worker pool.
+func TestStoreDifferentialByteIdentity(t *testing.T) {
+	spec := jobs.Spec{Experiment: "E8", Quick: true, Seed: 7}
+	want, wantBatches := runDirect(t, spec)
+	dir := t.TempDir()
+
+	// Pool 1: a miss computes and writes through.
+	s1 := openStoreT(t, dir, nil)
+	p1 := jobs.New(jobs.Options{Workers: 2, Store: s1})
+	res, err := p1.SubmitTenant("", spec)
+	if err != nil {
+		t.Fatalf("cold submit: %v", err)
+	}
+	if res.Cached {
+		t.Fatalf("cold submit reported a cache hit")
+	}
+	cold := waitTerminal(t, p1, res.ID)
+	if cold.State != jobs.StateSucceeded || cold.Output != want {
+		t.Fatalf("cold run: state %s, output matches: %v", cold.State, cold.Output == want)
+	}
+
+	// Same pool, second identical submit: served from the store, already
+	// terminal when SubmitTenant returns — it never touched the queue.
+	res2, err := p1.SubmitTenant("", spec)
+	if err != nil {
+		t.Fatalf("warm submit: %v", err)
+	}
+	if !res2.Cached || res2.ID == res.ID {
+		t.Fatalf("warm submit: cached=%v id=%s (cold id %s)", res2.Cached, res2.ID, res.ID)
+	}
+	warm, ok := p1.Get(res2.ID)
+	if !ok || warm.State != jobs.StateSucceeded {
+		t.Fatalf("cached job not terminal at submit return: %+v, %v", warm, ok)
+	}
+	if warm.Output != want {
+		t.Fatalf("cached output differs from direct run")
+	}
+	if warm.BatchesDone != wantBatches {
+		t.Errorf("cached BatchesDone = %d, want %d", warm.BatchesDone, wantBatches)
+	}
+	if warm.Attempts != 0 {
+		t.Errorf("cached job recorded %d attempts; it must not have run", warm.Attempts)
+	}
+	closePool(t, p1)
+
+	// Kill-and-reopen: open the directory again WITHOUT closing s1 — the
+	// crash shape — and serve a fresh pool from the recovered store.
+	reg := obs.NewRegistry()
+	s2 := openStoreT(t, dir, reg)
+	p2 := jobs.New(jobs.Options{Workers: 2, Store: s2})
+	res3, err := p2.SubmitTenant("", spec)
+	if err != nil {
+		t.Fatalf("post-crash submit: %v", err)
+	}
+	if !res3.Cached {
+		t.Fatalf("post-crash submit missed the store")
+	}
+	replay, _ := p2.Get(res3.ID)
+	if replay.Output != want {
+		t.Fatalf("post-crash cached output differs from direct run")
+	}
+	var prom strings.Builder
+	reg.WriteProm(&prom)
+	if !strings.Contains(prom.String(), "locality_store_hits_total 1") {
+		t.Errorf("store hit not visible on metrics:\n%s", prom.String())
+	}
+
+	// A different identity misses and computes fresh.
+	other := jobs.Spec{Experiment: "E8", Quick: true, Seed: 8}
+	res4, err := p2.SubmitTenant("", other)
+	if err != nil {
+		t.Fatalf("distinct submit: %v", err)
+	}
+	if res4.Cached {
+		t.Fatalf("distinct seed served from cache")
+	}
+	waitTerminal(t, p2, res4.ID)
+	closePool(t, p2)
+}
+
+// TestStoreCacheHitStreamsReplay: SSE subscribers on a cache-born job see
+// the standard already-terminal shape — Done closed at subscribe, snapshot
+// carrying the terminal state — so the serving path replays without any
+// special casing.
+func TestStoreCacheHitStreamsReplay(t *testing.T) {
+	spec := jobs.Spec{Experiment: "E8", Quick: true, Seed: 9}
+	dir := t.TempDir()
+	s := openStoreT(t, dir, nil)
+	p := jobs.New(jobs.Options{Workers: 2, Store: s})
+	res, err := p.SubmitTenant("", spec)
+	if err != nil {
+		t.Fatalf("cold submit: %v", err)
+	}
+	waitTerminal(t, p, res.ID)
+	res2, err := p.SubmitTenant("", spec)
+	if err != nil || !res2.Cached {
+		t.Fatalf("warm submit: %+v, %v", res2, err)
+	}
+	sub, err := p.Subscribe("", res2.ID, 4)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	select {
+	case <-sub.Done():
+	default:
+		t.Fatalf("Done not closed for cache-born terminal job")
+	}
+	p.Unsubscribe(sub)
+	closePool(t, p)
+}
+
+// TestStoreSkipsShardedJobs: a sharded job's product is its checkpoint, not
+// a table, so the pool-level cache must ignore it in both directions.
+func TestStoreSkipsShardedJobs(t *testing.T) {
+	spec := jobs.Spec{Experiment: "E8", Quick: true, Seed: 10,
+		Rows: &jobs.RowSpec{Mod: 2, Keep: 0}}
+	dir := t.TempDir()
+	s := openStoreT(t, dir, nil)
+	p := jobs.New(jobs.Options{Workers: 2, Store: s})
+	res, err := p.SubmitTenant("", spec)
+	if err != nil || res.Cached {
+		t.Fatalf("sharded submit: %+v, %v", res, err)
+	}
+	j := waitTerminal(t, p, res.ID)
+	if j.State != jobs.StateSucceeded {
+		t.Fatalf("sharded job: state %s, error %q", j.State, j.Error)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("sharded success wrote %d store records; want 0", s.Len())
+	}
+	res2, err := p.SubmitTenant("", spec)
+	if err != nil {
+		t.Fatalf("sharded resubmit: %v", err)
+	}
+	if res2.Cached {
+		t.Fatalf("sharded resubmit served from the result store")
+	}
+	waitTerminal(t, p, res2.ID)
+	closePool(t, p)
+}

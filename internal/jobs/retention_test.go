@@ -1,0 +1,80 @@
+package jobs
+
+import "testing"
+
+// TestStoreRetentionShrinksIdentityMap is the regression test for the
+// idempotent-dedup leak: before Retention, a long-lived -idempotent daemon
+// kept one identity entry per distinct spec forever. With retention bound
+// R, both the job table and the dedup map must shrink back to R as terminal
+// jobs age out.
+func TestStoreRetentionShrinksIdentityMap(t *testing.T) {
+	const retain = 2
+	p := New(Options{Workers: 1, Idempotent: true, Retention: retain})
+	defer closePoolWB(t, p)
+
+	var ids []string
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := p.SubmitTenant("", Spec{Experiment: "E8", Quick: true, Seed: seed})
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		if res.Deduped {
+			t.Fatalf("distinct seed %d deduped", seed)
+		}
+		ids = append(ids, res.ID)
+		waitStateWB(t, p, res.ID, StateSucceeded)
+	}
+
+	p.mu.Lock()
+	identityLen, jobsLen, doneLen := len(p.identity), len(p.jobs), len(p.done)
+	p.mu.Unlock()
+	if identityLen != retain {
+		t.Errorf("identity map holds %d entries after 5 terminal jobs; want %d", identityLen, retain)
+	}
+	if jobsLen != retain || doneLen != retain {
+		t.Errorf("jobs=%d done=%d; want %d each", jobsLen, doneLen, retain)
+	}
+
+	// Evicted jobs are gone from the poll surface...
+	if _, ok := p.Get(ids[0]); ok {
+		t.Errorf("evicted job %s still pollable", ids[0])
+	}
+	// ...while the most recent ones survive and still dedup.
+	last := ids[len(ids)-1]
+	if _, ok := p.Get(last); !ok {
+		t.Errorf("retained job %s not pollable", last)
+	}
+	res, err := p.SubmitTenant("", Spec{Experiment: "E8", Quick: true, Seed: 5})
+	if err != nil || !res.Deduped || res.ID != last {
+		t.Errorf("retained spec did not dedup: %+v, %v (want id %s)", res, err, last)
+	}
+	// An evicted spec recomputes instead of dedup-hitting a ghost.
+	res, err = p.SubmitTenant("", Spec{Experiment: "E8", Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("resubmit evicted spec: %v", err)
+	}
+	if res.Deduped {
+		t.Errorf("evicted spec deduped against a dropped job")
+	}
+	waitStateWB(t, p, res.ID, StateSucceeded)
+}
+
+// TestRetentionZeroKeepsEverything pins the default: without a bound, no
+// terminal job (and no identity entry) is ever evicted.
+func TestRetentionZeroKeepsEverything(t *testing.T) {
+	p := New(Options{Workers: 1, Idempotent: true})
+	defer closePoolWB(t, p)
+	for seed := uint64(1); seed <= 3; seed++ {
+		res, err := p.SubmitTenant("", Spec{Experiment: "E8", Quick: true, Seed: seed})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		waitStateWB(t, p, res.ID, StateSucceeded)
+	}
+	p.mu.Lock()
+	identityLen, jobsLen := len(p.identity), len(p.jobs)
+	p.mu.Unlock()
+	if identityLen != 3 || jobsLen != 3 {
+		t.Errorf("identity=%d jobs=%d; want 3 each with Retention 0", identityLen, jobsLen)
+	}
+}

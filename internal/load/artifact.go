@@ -10,7 +10,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+
+	"locality/internal/artifact"
 )
 
 // Write persists res as <dir>/LOAD_<stamp>.json and returns the path.
@@ -43,19 +44,15 @@ func Write(dir string, res *Result) (string, error) {
 	return path, nil
 }
 
-// Latest loads the lexically latest LOAD_*.json artifact in dir. A missing
+// Latest loads the lexically latest usable LOAD_*.json artifact in dir
+// (zero-length debris is skipped — see internal/artifact). A missing
 // directory or an empty one returns ("", nil, nil): no baseline is not an
 // error, it is the first run.
 func Latest(dir string) (string, *Result, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, "LOAD_*.json"))
-	if err != nil {
+	path, err := artifact.Latest(dir, "LOAD")
+	if err != nil || path == "" {
 		return "", nil, err
 	}
-	if len(paths) == 0 {
-		return "", nil, nil
-	}
-	sort.Strings(paths)
-	path := paths[len(paths)-1]
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return "", nil, err

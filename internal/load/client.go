@@ -37,6 +37,7 @@ type submitBody struct {
 type submitOutcome struct {
 	id            string
 	deduped       bool
+	cached        bool
 	shed          bool
 	latencyMillis float64
 }
@@ -96,7 +97,7 @@ func (c *client) submit(ctx context.Context, body submitBody) (submitOutcome, er
 		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 			return submitOutcome{}, fmt.Errorf("decoding 202 body: %w", err)
 		}
-		return submitOutcome{id: res.ID, deduped: res.Deduped}, nil
+		return submitOutcome{id: res.ID, deduped: res.Deduped, cached: res.Cached}, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
 		return submitOutcome{shed: true}, nil

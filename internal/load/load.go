@@ -23,6 +23,10 @@
 //	           fresh, the rest must dedup to the same ID.
 //	stream     SSE streams over running jobs; every stream must observe a
 //	           terminal state and close cleanly.
+//	cache      one cold compute, then repeated byte-identical submits; every
+//	           warm submit must be answered without fresh compute (idempotent
+//	           dedup or result-store hit) and the warm p99 must sit at least
+//	           MinCacheSpeedup below the solo compute p99.
 //	chaos      (only with a Chaos hook, i.e. against a spawned daemon)
 //	           SIGTERM lands mid-stream; the open stream must still get a
 //	           terminal frame and a clean close.
@@ -54,6 +58,7 @@ const (
 	dupTag    uint64 = 4 << 40
 	streamTag uint64 = 5 << 40
 	chaosTag  uint64 = 6 << 40
+	cacheTag  uint64 = 7 << 40
 )
 
 // latencyBuckets are the submit→terminal histogram bounds in milliseconds.
@@ -66,6 +71,12 @@ var latencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 // encoder rejects infinities). Any latency past the last bucket reports
 // this value and fails every gate it touches.
 const overflowMillis = 60000
+
+// cacheGateFloorMillis is the minimum solo compute p99 for the cache
+// phase's speedup gate to be meaningful: below it, submit→terminal time is
+// HTTP and scheduler overhead rather than compute, and a warm-hit speedup
+// ratio would gate on noise.
+const cacheGateFloorMillis = 10
 
 // Options configures one engine run. Zero fields take the defaults noted.
 type Options struct {
@@ -98,6 +109,13 @@ type Options struct {
 	// (default 3).
 	DuplicateSubmits int
 	Streams          int
+	// CacheWarmHits is how many byte-identical warm submits the cache
+	// phase issues after its one cold compute (default 8).
+	// MinCacheSpeedup is the factor by which the warm p99 must undercut
+	// the solo compute p99 (default 10; ≤0 keeps the default). The gate
+	// only fires when solo produced a usable p99.
+	CacheWarmHits   int
+	MinCacheSpeedup float64
 	// MaxFairnessRatio bounds contended-p99 / solo-p99 for the fairness
 	// verdict (default 2).
 	MaxFairnessRatio float64
@@ -136,6 +154,12 @@ func (o Options) withDefaults() Options {
 	if o.Streams == 0 {
 		o.Streams = 3
 	}
+	if o.CacheWarmHits == 0 {
+		o.CacheWarmHits = 8
+	}
+	if o.MinCacheSpeedup <= 0 {
+		o.MinCacheSpeedup = 10
+	}
 	if o.MaxFairnessRatio == 0 {
 		o.MaxFairnessRatio = 2
 	}
@@ -158,8 +182,11 @@ type PhaseResult struct {
 	OK     int `json:"ok"`
 	Sheds  int `json:"sheds"`
 	Errors int `json:"errors"`
-	// Deduped counts idempotent submit hits (duplicate phase).
+	// Deduped counts idempotent submit hits (duplicate and cache phases).
 	Deduped int `json:"deduped,omitempty"`
+	// Cached counts submits answered from the persistent result store
+	// (cache phase).
+	Cached int `json:"cached,omitempty"`
 	// Terminals counts streams that observed a terminal state (stream and
 	// chaos phases).
 	Terminals int `json:"terminals,omitempty"`
@@ -240,6 +267,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	contended := r.runContended(ctx)
 	r.runDuplicate(ctx)
 	r.runStream(ctx)
+	r.runCache(ctx, solo)
 	if o.Chaos != nil {
 		r.runChaos(ctx)
 	}
@@ -479,6 +507,76 @@ func (r *runner) runStream(ctx context.Context) {
 	}
 	r.res.Phases = append(r.res.Phases, ph)
 	r.o.Logf("phase stream: %d streams, %d terminals, %d errors", n, ph.Terminals, ph.Errors)
+}
+
+// runCache submits one cold compute and then CacheWarmHits byte-identical
+// warm submits. Every warm submit must be answered without re-entering the
+// worker pool — either the idempotent dedup map (same process lifetime) or
+// the persistent result store (across restarts) — and the warm p99 must sit
+// at least MinCacheSpeedup below the solo compute p99. The two answer tiers
+// are deliberately both accepted: which one fires depends on daemon
+// configuration, but recomputing is a violation under either.
+func (r *runner) runCache(ctx context.Context, solo PhaseResult) {
+	ph := PhaseResult{Name: "cache"}
+	body := r.body(rng.Mix64(r.o.Seed, cacheTag))
+	cold, err := r.good.submitAndWait(ctx, body)
+	ph.Ops++
+	switch {
+	case err != nil:
+		ph.Errors++
+		r.res.fail("cache: cold submit: %v", err)
+		r.res.Phases = append(r.res.Phases, ph)
+		return
+	case cold.shed:
+		ph.Sheds++
+		r.res.GoodSheds++
+		r.res.fail("cache: cold submit shed; cannot seed the cache")
+		r.res.Phases = append(r.res.Phases, ph)
+		return
+	}
+	ph.OK++
+
+	var warm []float64
+	for i := 0; i < r.o.CacheWarmHits && ctx.Err() == nil; i++ {
+		ph.Ops++
+		out, err := r.good.submitAndWait(ctx, body)
+		switch {
+		case err != nil:
+			ph.Errors++
+			r.res.fail("cache: warm submit %d: %v", i, err)
+			continue
+		case out.shed:
+			ph.Sheds++
+			r.res.GoodSheds++
+			continue
+		}
+		ph.OK++
+		warm = append(warm, out.latencyMillis)
+		switch {
+		case out.cached:
+			ph.Cached++
+		case out.deduped:
+			ph.Deduped++
+		default:
+			r.res.fail("cache: warm submit %d recomputed (job %s, neither deduped nor cached)", i, out.id)
+		}
+	}
+	ph.P50Millis = exactQuantile(warm, 0.50)
+	ph.P99Millis = exactQuantile(warm, 0.99)
+	switch {
+	case len(warm) == 0 || solo.P99Millis < cacheGateFloorMillis:
+		// A solo p99 this small is HTTP/scheduling overhead, not compute —
+		// the speedup ratio would gate on noise (same reasoning as the
+		// bench gate's minimum-ns floor).
+		r.o.Logf("phase cache: speedup gate skipped (solo p99 %.2fms below %.0fms floor)",
+			solo.P99Millis, float64(cacheGateFloorMillis))
+	case ph.P99Millis*r.o.MinCacheSpeedup > solo.P99Millis:
+		r.res.fail("cache: warm p99 %.2fms not %.0f× below solo compute p99 %.2fms",
+			ph.P99Millis, r.o.MinCacheSpeedup, solo.P99Millis)
+	}
+	r.res.Phases = append(r.res.Phases, ph)
+	r.o.Logf("phase cache: %d ops, %d deduped, %d cached, warm p99 %.2fms vs solo %.2fms",
+		ph.Ops, ph.Deduped, ph.Cached, ph.P99Millis, solo.P99Millis)
 }
 
 // runChaos opens a stream over a fresh job, delivers SIGTERM once the

@@ -1,0 +1,13 @@
+// Wall-clock leaf for the result store, quarantined in this file by the
+// localvet allowance table (cmd/localvet): the one stamp below is the
+// package's only clock read. It feeds record.StoredUnixNanos — operator
+// telemetry on disk — and is never read back into a served Result, so the
+// cache's byte-identity guarantee does not depend on it. Everything else in
+// internal/store must stay nondetflow-clean.
+package store
+
+import "time"
+
+// nowNanos reads the wall clock for the stored-at stamp. Leaf-confined
+// wallclock exemption; see the localvet leafExemptions table.
+func nowNanos() int64 { return time.Now().UnixNano() }

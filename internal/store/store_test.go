@@ -1,0 +1,310 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"locality/internal/obs"
+)
+
+func openT(t *testing.T, o Options) *Store {
+	t.Helper()
+	s, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	if _, ok := s.Get("missing"); ok {
+		t.Fatalf("Get on empty store reported a hit")
+	}
+	want := Result{Output: "| a | b |\n| 1 | 2 |\n", Batches: 7}
+	s.Put("k1", want)
+	got, ok := s.Get("k1")
+	if !ok || got != want {
+		t.Fatalf("Get(k1) = %+v, %v; want %+v, true", got, ok, want)
+	}
+	// Overwrite: last write wins.
+	want2 := Result{Output: "updated", Batches: 9}
+	s.Put("k1", want2)
+	if got, ok := s.Get("k1"); !ok || got != want2 {
+		t.Fatalf("Get after overwrite = %+v, %v; want %+v, true", got, ok, want2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite; want 1", s.Len())
+	}
+}
+
+func TestStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	want := Result{Output: strings.Repeat("row\n", 100), Batches: 3}
+	s.Put("k", want)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2 := openT(t, Options{Dir: dir})
+	got, ok := s2.Get("k")
+	if !ok || got != want {
+		t.Fatalf("Get after reopen = %+v, %v; want %+v, true", got, ok, want)
+	}
+}
+
+// TestStoreKillAndReopen reopens the directory without closing the first
+// store — the crash shape: file handles die with the process, nothing is
+// flushed beyond what the kernel already has from the write syscalls.
+func TestStoreKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	want := Result{Output: "survives a crash", Batches: 2}
+	s.Put("k", want)
+	// No Close: simulate the process dying.
+	s2 := openT(t, Options{Dir: dir})
+	got, ok := s2.Get("k")
+	if !ok || got != want {
+		t.Fatalf("Get after kill-and-reopen = %+v, %v; want %+v, true", got, ok, want)
+	}
+}
+
+func segPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	return paths
+}
+
+func TestStoreTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	intact := Result{Output: "intact", Batches: 1}
+	s.Put("good", intact)
+	s.Put("torn", Result{Output: strings.Repeat("x", 4096), Batches: 2})
+	s.Close()
+
+	paths := segPaths(t, dir)
+	if len(paths) != 1 {
+		t.Fatalf("segments = %v; want exactly one", paths)
+	}
+	info, err := os.Stat(paths[0])
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	// Cut the file mid-way through the second record.
+	if err := os.Truncate(paths[0], info.Size()-100); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	s2 := openT(t, Options{Dir: dir})
+	if got, ok := s2.Get("good"); !ok || got != intact {
+		t.Fatalf("record before torn tail lost: %+v, %v", got, ok)
+	}
+	if _, ok := s2.Get("torn"); ok {
+		t.Fatalf("torn record served after recovery")
+	}
+	// Recovery must have truncated the tail so new writes land cleanly.
+	after := Result{Output: "after recovery", Batches: 5}
+	s2.Put("new", after)
+	s2.Close()
+	s3 := openT(t, Options{Dir: dir})
+	if got, ok := s3.Get("new"); !ok || got != after {
+		t.Fatalf("write after recovery lost: %+v, %v", got, ok)
+	}
+	if got, ok := s3.Get("good"); !ok || got != intact {
+		t.Fatalf("original record lost after post-recovery write: %+v, %v", got, ok)
+	}
+}
+
+func TestStoreCorruptRecordIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	s.Put("k", Result{Output: "payload-to-corrupt", Batches: 1})
+	s.Close()
+
+	paths := segPaths(t, dir)
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flip a payload byte without touching the length prefix: the CRC now
+	// disagrees, so the scan on Open must refuse the record.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	s2 := openT(t, Options{Dir: dir})
+	if _, ok := s2.Get("k"); ok {
+		t.Fatalf("corrupt record served")
+	}
+}
+
+func TestStoreVersionMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	s.Put("k", Result{Output: "old-schema", Batches: 1})
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, versionFile), []byte("locality-store/v0\n"), 0o644); err != nil {
+		t.Fatalf("write version: %v", err)
+	}
+	s2 := openT(t, Options{Dir: dir})
+	if _, ok := s2.Get("k"); ok {
+		t.Fatalf("record served across a schema-version mismatch")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, versionFile))
+	if err != nil || strings.TrimSpace(string(data)) != SchemaVersion {
+		t.Fatalf("VERSION not rewritten: %q, %v", data, err)
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	// Tiny budget: each ~1KiB record rolls its own segment, and the third
+	// write must push the first segment out.
+	s := openT(t, Options{Dir: dir, MaxBytes: 2300, SegmentBytes: 1, Metrics: reg})
+	payload := strings.Repeat("p", 1024)
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), Result{Output: payload, Batches: i})
+	}
+	if _, ok := s.Get("k0"); ok {
+		t.Fatalf("oldest record survived past the byte budget")
+	}
+	if got, ok := s.Get("k3"); !ok || got.Batches != 3 {
+		t.Fatalf("newest record lost to eviction: %+v, %v", got, ok)
+	}
+	if s.Bytes() > 2300 {
+		t.Fatalf("Bytes = %d exceeds budget", s.Bytes())
+	}
+	var prom strings.Builder
+	reg.WriteProm(&prom)
+	if !strings.Contains(prom.String(), "locality_store_evictions_total") {
+		t.Fatalf("evictions counter missing from exposition:\n%s", prom.String())
+	}
+	// Evicted segment files must be gone from disk too.
+	if n := len(segPaths(t, dir)); n > 3 {
+		t.Fatalf("%d segment files on disk; eviction left stale files", n)
+	}
+}
+
+func TestStoreEvictionSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, MaxBytes: 2300, SegmentBytes: 1})
+	payload := strings.Repeat("p", 1024)
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), Result{Output: payload, Batches: i})
+	}
+	s.Close()
+	s2 := openT(t, Options{Dir: dir, MaxBytes: 2300, SegmentBytes: 1})
+	if _, ok := s2.Get("k0"); ok {
+		t.Fatalf("evicted record resurrected on reopen")
+	}
+	if got, ok := s2.Get("k3"); !ok || got.Batches != 3 {
+		t.Fatalf("retained record lost on reopen: %+v, %v", got, ok)
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := openT(t, Options{Dir: dir, Metrics: reg})
+	s.Get("nope")
+	s.Put("k", Result{Output: "v", Batches: 1})
+	s.Get("k")
+	var prom strings.Builder
+	reg.WriteProm(&prom)
+	text := prom.String()
+	for _, want := range []string{
+		"locality_store_hits_total 1",
+		"locality_store_misses_total 1",
+		"locality_store_bytes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestStoreConcurrent hammers Put/Get from many goroutines under -race:
+// the store must stay consistent (a Get returns either a miss or an exact
+// previously-Put value, never a torn mix).
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, SegmentBytes: 8 << 10})
+	const (
+		writers = 4
+		readers = 4
+		keys    = 16
+		rounds  = 200
+	)
+	value := func(k, round int) Result {
+		return Result{Output: fmt.Sprintf("key-%d-round-%d-%s", k, round, strings.Repeat("v", 64)), Batches: round}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w*rounds + r) % keys
+				s.Put(fmt.Sprintf("k%d", k), value(k, r))
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (g*rounds + r) % keys
+				got, ok := s.Get(fmt.Sprintf("k%d", k))
+				if !ok {
+					continue
+				}
+				wantPrefix := fmt.Sprintf("key-%d-round-%d-", k, got.Batches)
+				if !strings.HasPrefix(got.Output, wantPrefix) {
+					t.Errorf("torn read for k%d: %q", k, got.Output)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every key must round-trip its last write after a reopen.
+	s.Close()
+	s2 := openT(t, Options{Dir: dir, SegmentBytes: 8 << 10})
+	for k := 0; k < keys; k++ {
+		got, ok := s2.Get(fmt.Sprintf("k%d", k))
+		if !ok {
+			continue // may have been evicted by a roll; absence is legal
+		}
+		if !strings.HasPrefix(got.Output, fmt.Sprintf("key-%d-round-", k)) {
+			t.Fatalf("reopened store served mismatched record for k%d: %q", k, got.Output)
+		}
+	}
+}
+
+func TestStoreOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatalf("Open with empty dir succeeded")
+	}
+}
+
+func TestStorePutAfterCloseDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	s.Close()
+	s.Put("k", Result{Output: "late", Batches: 1}) // must not panic
+	if _, ok := s.Get("k"); ok {
+		t.Fatalf("Get served a record after Close")
+	}
+}

@@ -316,15 +316,8 @@ func (t *Tenant) refill(now int64) {
 // *LimitError values; the quota checks run in a fixed order (rate, queued,
 // in-flight) so rejection reasons are deterministic.
 func (r *Registry) Enqueue(t *Tenant, item any, now int64) error {
-	t.refill(now)
-	if t.limits.Rate > 0 && t.tokens < 1 {
-		deficit := 1 - t.tokens
-		wait := int64(deficit / t.limits.Rate * 1e9)
-		if wait < 1 {
-			wait = 1
-		}
-		return &LimitError{Tenant: t.id, Reason: ErrRateLimited,
-			RetryAfterNanos: wait, Used: t.limits.burst(), Cap: t.limits.burst()}
+	if err := t.rateCheck(now); err != nil {
+		return err
 	}
 	if t.limits.MaxQueued > 0 && t.queued >= t.limits.MaxQueued {
 		return &LimitError{Tenant: t.id, Reason: ErrQueueFull,
@@ -340,6 +333,41 @@ func (r *Registry) Enqueue(t *Tenant, item any, now int64) error {
 	t.fifo = append(t.fifo, item)
 	t.queued++
 	r.queued++
+	return nil
+}
+
+// rateCheck refills the token bucket to now and fails with ErrRateLimited
+// (and the bucket-derived retry hint) if no token is available. It does not
+// consume a token.
+func (t *Tenant) rateCheck(now int64) error {
+	t.refill(now)
+	if t.limits.Rate > 0 && t.tokens < 1 {
+		deficit := 1 - t.tokens
+		wait := int64(deficit / t.limits.Rate * 1e9)
+		if wait < 1 {
+			wait = 1
+		}
+		return &LimitError{Tenant: t.id, Reason: ErrRateLimited,
+			RetryAfterNanos: wait, Used: t.limits.burst(), Cap: t.limits.burst()}
+	}
+	return nil
+}
+
+// Admit charges the tenant's rate bucket for a request that consumes no
+// queue or in-flight capacity — the cache-hit path: a submission answered
+// from the result store occupies no worker and holds no slot, but it is
+// still one API-visible request, so it must pay the same per-request token
+// the queued path pays (otherwise a hot cached spec becomes an unmetered
+// bypass of the tenant's rate quota). MaxQueued/MaxInFlight are deliberately
+// not checked: those bound resource occupancy, and an admission that
+// occupies nothing should not be rejected for someone else's occupancy.
+func (r *Registry) Admit(t *Tenant, now int64) error {
+	if err := t.rateCheck(now); err != nil {
+		return err
+	}
+	if t.limits.Rate > 0 {
+		t.tokens--
+	}
 	return nil
 }
 

@@ -125,6 +125,38 @@ func TestTokenBucketDeterministicRefill(t *testing.T) {
 	}
 }
 
+func TestAdmitChargesRateOnly(t *testing.T) {
+	r := NewRegistry(Config{Defaults: Limits{Rate: 2, Burst: 2, MaxQueued: 1, MaxInFlight: 1}})
+	ten, _ := r.Lookup("k")
+	const now0 = int64(1_000_000_000)
+	// Saturate occupancy: one queued job fills both MaxQueued and (with
+	// nothing running) leaves MaxInFlight at its bound.
+	if err := r.Enqueue(ten, 0, now0); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if err := r.Enqueue(ten, 1, now0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("occupancy guard: err = %v, want ErrQueueFull", err)
+	}
+	// Admit ignores occupancy — a cache hit holds no slot — but it spends
+	// the second (last) token...
+	if err := r.Admit(ten, now0); err != nil {
+		t.Fatalf("Admit with full queue: %v", err)
+	}
+	// ...so the bucket is now empty for Admit and Enqueue alike.
+	err := r.Admit(ten, now0)
+	var le *LimitError
+	if !errors.As(err, &le) || !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("drained bucket: err = %v, want ErrRateLimited", err)
+	}
+	if le.RetryAfterNanos != 500_000_000 {
+		t.Errorf("RetryAfterNanos = %d, want 500ms", le.RetryAfterNanos)
+	}
+	// Refill restores Admit at the same deterministic schedule as Enqueue.
+	if err := r.Admit(ten, now0+500_000_000); err != nil {
+		t.Errorf("after refill: err = %v, want admitted", err)
+	}
+}
+
 func TestQueueAndInFlightCaps(t *testing.T) {
 	r := NewRegistry(Config{Defaults: Limits{MaxQueued: 2, MaxInFlight: 3}})
 	ten, _ := r.Lookup("k")

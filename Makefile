@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments load store
+.PHONY: all build test vet lint lint-fast lint-sarif race race-kernel race-supervision cluster fuzz-smoke obs bench experiments load store trace
 
 all: build test
 
@@ -116,6 +116,22 @@ load:
 store:
 	$(GO) test -race -count=1 ./internal/store
 	$(GO) test -race -count=1 -run 'TestStore|TestRetention' ./internal/jobs ./cmd/localityd
+
+# Trace gate (CI): end-to-end deterministic tracing (DESIGN.md §14). The
+# obsinert + nowallclock analyzers prove the tracer stays inert and its
+# wall-clock reads confined to the sanctioned leaf; the trace package and
+# localtrace CLI tests run under the race detector; then the tracing
+# differentials and the multi-process kill-a-shard trace e2e run — every
+# process appends spans to one shared directory, and the causal tree must
+# assemble with zero orphaned spans. With TRACE_ARTIFACT_DIR set, the e2e
+# exports the merged per-process artifacts there and localtrace re-validates
+# them from the command line — the same binary a human would point at a
+# production trace directory is the final arbiter of the gate.
+trace:
+	$(GO) run ./cmd/localvet -only obsinert,nowallclock ./...
+	$(GO) test -race -count=1 ./internal/obs/trace ./cmd/localtrace
+	$(GO) test -race -count=1 -run 'TestTracerByteIdentity|TestReportMaxFilesPrunes|TestTraceHeaderConstantsAgree|TestRouteLatencyCoversEventsAndCheckpoint|TestSubmitExemplarLinksTrace|TestClusterTraceE2E' -v ./internal/jobs ./cmd/localityd
+	@if [ -n "$$TRACE_ARTIFACT_DIR" ]; then $(GO) run ./cmd/localtrace "$$TRACE_ARTIFACT_DIR"; fi
 
 # Regenerate the full-scale EXPERIMENTS.md tables (takes minutes).
 experiments:

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"locality/internal/harness"
@@ -44,8 +45,14 @@ func run() int {
 		benchJSON    = flag.Bool("bench-json", false, "benchmark every experiment at quick scale and write BENCH_<stamp>.json")
 		benchDir     = flag.String("bench-dir", ".", "directory for BENCH_*.json artifacts (and where the baseline is looked up)")
 		benchRegress = flag.Float64("bench-regress", 25, "fail on ns/op regressions above this percentage vs the latest baseline (0 disables)")
+		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("localbench %s %s %s/%s\n", obs.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return 0
+	}
 
 	if *benchJSON {
 		return runBenchJSON(*benchDir, *seed, *workers, *benchRegress)

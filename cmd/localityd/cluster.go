@@ -18,11 +18,13 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locality/internal/cluster"
 	"locality/internal/jobs"
 	"locality/internal/obs"
+	"locality/internal/obs/trace"
 	"locality/internal/store"
 	"locality/internal/tenant"
 )
@@ -50,6 +52,9 @@ type clusterJob struct {
 	// follow the job across the cluster. Unexported: the raw key must never
 	// appear in API snapshots or reports.
 	tenantKey string
+	// span is the submit-time trace position (the HTTP route span, joined
+	// to the spec's identity-derived trace); the sweep span parents to it.
+	span trace.SpanContext
 }
 
 // clusterServer fronts one Coordinator. A Coordinator runs one sweep at a
@@ -57,9 +62,14 @@ type clusterJob struct {
 // goroutine — the same shed-don't-buffer discipline as the worker pool:
 // a full queue is a 429 with Retry-After, never invisible latency.
 type clusterServer struct {
-	coord     *cluster.Coordinator
-	reg       *obs.Registry
-	reportDir string
+	coord *cluster.Coordinator
+	reg   *obs.Registry
+	// tr emits the front-end's spans; the coordinator itself carries no
+	// tracer (obsinert) and reports timing through its OnSpan hook, which
+	// serveCluster bridges to onSpan below.
+	tr             *trace.Tracer
+	reportDir      string
+	reportMaxFiles int
 	// results, when non-nil, is the persistent result cache: consulted
 	// before a sweep is dispatched to the shards (the whole fan-out is
 	// skipped on a hit), written through when a sweep's merged table
@@ -75,26 +85,45 @@ type clusterServer struct {
 	seq      int
 	draining bool
 	current  context.CancelFunc // cancels the in-flight sweep, nil if idle
+	sweep    *trace.Span        // the in-flight sweep's span; coordinator SpanEvents parent to it
 
 	queue      chan *clusterJob
 	runnerDone chan struct{}
 }
 
-func newClusterServer(coord *cluster.Coordinator, queueDepth int, reg *obs.Registry, reportDir string, results *store.Store) *clusterServer {
+func newClusterServer(coord *cluster.Coordinator, queueDepth int, reg *obs.Registry, tr *trace.Tracer, reportDir string, reportMaxFiles int, results *store.Store) *clusterServer {
 	if queueDepth <= 0 {
 		queueDepth = 16
 	}
 	s := &clusterServer{
-		coord:      coord,
-		reg:        reg,
-		reportDir:  reportDir,
-		results:    results,
-		jobs:       make(map[string]*clusterJob),
-		queue:      make(chan *clusterJob, queueDepth),
-		runnerDone: make(chan struct{}),
+		coord:          coord,
+		reg:            reg,
+		tr:             tr,
+		reportDir:      reportDir,
+		reportMaxFiles: reportMaxFiles,
+		results:        results,
+		jobs:           make(map[string]*clusterJob),
+		queue:          make(chan *clusterJob, queueDepth),
+		runnerDone:     make(chan struct{}),
 	}
 	go s.runner()
 	return s
+}
+
+// onSpan turns a coordinator SpanEvent into a real span under the
+// in-flight sweep's span. It is the target of cluster.Options.OnSpan
+// (wired through an atomic holder in serveCluster, and directly by
+// tests); with no sweep in flight the event becomes its own
+// single-span trace rather than being dropped.
+func (s *clusterServer) onSpan(e cluster.SpanEvent) {
+	s.mu.Lock()
+	parent := s.sweep.Context()
+	s.mu.Unlock()
+	attrs := e.Attrs
+	if e.Shard != "" {
+		attrs = append([]string{"shard", e.Shard}, attrs...)
+	}
+	s.tr.Emit(parent, e.Name, e.StartUnixNanos, e.EndUnixNanos, attrs...)
 }
 
 // handler builds the coordinator API. Same routes and status discipline as
@@ -103,14 +132,14 @@ func newClusterServer(coord *cluster.Coordinator, queueDepth int, reg *obs.Regis
 // sharding, so client-supplied Rows are rejected.
 func (s *clusterServer) handler(requestTimeout time.Duration, maxInflight int) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", instrumented(s.reg, "submit", s.handleSubmit))
-	mux.HandleFunc("GET /v1/jobs", instrumented(s.reg, "list", s.handleList))
-	mux.HandleFunc("GET /v1/jobs/{id}", instrumented(s.reg, "get", s.handleGet))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", instrumented(s.reg, "cancel", s.handleCancel))
-	mux.HandleFunc("GET /healthz", instrumented(s.reg, "healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/jobs", instrumented(s.reg, s.tr, "submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", instrumented(s.reg, s.tr, "list", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", instrumented(s.reg, s.tr, "get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", instrumented(s.reg, s.tr, "cancel", s.handleCancel))
+	mux.HandleFunc("GET /healthz", instrumented(s.reg, s.tr, "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
-	mux.HandleFunc("GET /readyz", instrumented(s.reg, "readyz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /readyz", instrumented(s.reg, s.tr, "readyz", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
@@ -156,11 +185,14 @@ func (s *clusterServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: "coordinator draining", Reason: "draining"})
 		return
 	}
+	sp := trace.SpanFromContext(r.Context())
+	sp.JoinTrace(trace.IDFromIdentity(spec.IdentityKey()))
 	cj := &clusterJob{
 		ID:        fmt.Sprintf("cjob-%d", s.seq),
 		Spec:      spec,
 		State:     jobs.StateQueued,
 		tenantKey: r.Header.Get(tenant.Header),
+		span:      sp.Context(),
 	}
 	select {
 	case s.queue <- cj:
@@ -205,6 +237,7 @@ func (s *clusterServer) handleGet(w http.ResponseWriter, r *http.Request) {
 			Error: "unknown job", Reason: "not_found"})
 		return
 	}
+	trace.SpanFromContext(r.Context()).JoinTrace(trace.IDFromIdentity(snap.Spec.IdentityKey()))
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -242,18 +275,33 @@ func (s *clusterServer) runner() {
 }
 
 func (s *clusterServer) runOne(cj *clusterJob) {
+	// The sweep span parents everything this job does cluster-wide: the
+	// coordinator's SpanEvents (via onSpan) and — through the trace
+	// header riding the dispatch context — every shard-side route and
+	// job span, so one multi-process tree assembles per sweep.
+	sp := s.tr.Start(cj.span, "cluster.sweep", "experiment", cj.Spec.Experiment, "job", cj.ID)
+	defer sp.End()
 	// The submitter's API key rides the context into every shard call, so
 	// workers account the sweep's row batches to the right tenant.
-	ctx, cancel := context.WithCancel(cluster.WithTenant(context.Background(), cj.tenantKey))
+	base := cluster.WithTenant(context.Background(), cj.tenantKey)
+	base = cluster.WithTraceHeader(base, sp.Context().String())
+	ctx, cancel := context.WithCancel(base)
 	defer cancel()
 	s.mu.Lock()
 	if cj.State != jobs.StateQueued { // cancelled while queued, or draining
 		s.mu.Unlock()
+		sp.SetAttr("outcome", "skipped")
 		return
 	}
 	cj.State = jobs.StateRunning
 	s.current = cancel
+	s.sweep = sp
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.sweep = nil
+		s.mu.Unlock()
+	}()
 	if cj.Spec.Timeout > 0 {
 		var tcancel context.CancelFunc
 		ctx, tcancel = context.WithTimeout(ctx, cj.Spec.Timeout)
@@ -265,7 +313,15 @@ func (s *clusterServer) runOne(cj *clusterJob) {
 	// a replay implies — every batch present, nothing adopted, retried,
 	// recomputed or lost.
 	if s.results != nil {
-		if hit, ok := s.results.Get(cj.Spec.IdentityKey()); ok {
+		gs := s.tr.Start(sp.Context(), "store.get")
+		hit, ok := s.results.Get(cj.Spec.IdentityKey())
+		if ok {
+			gs.SetAttr("outcome", "hit")
+		} else {
+			gs.SetAttr("outcome", "miss")
+		}
+		gs.End()
+		if ok {
 			s.mu.Lock()
 			s.current = nil
 			cj.State = jobs.StateSucceeded
@@ -274,6 +330,7 @@ func (s *clusterServer) runOne(cj *clusterJob) {
 			cj.Result = &cluster.Result{Output: hit.Output, TotalBatches: hit.Batches}
 			snap := *cj
 			s.mu.Unlock()
+			sp.SetAttr("outcome", "cached")
 			s.writeReport(snap)
 			return
 		}
@@ -298,11 +355,14 @@ func (s *clusterServer) runOne(cj *clusterJob) {
 	}
 	snap := *cj
 	s.mu.Unlock()
+	sp.SetAttr("state", string(snap.State))
 	// Write the merged table through so the next identical submit — to
 	// this coordinator or any process sharing the store directory — skips
 	// the whole fan-out.
 	if snap.State == jobs.StateSucceeded && s.results != nil {
+		ps := s.tr.Start(sp.Context(), "store.put")
 		s.results.Put(snap.Spec.IdentityKey(), store.Result{Output: res.Output, Batches: res.TotalBatches})
+		ps.End()
 	}
 	s.writeReport(snap)
 }
@@ -336,6 +396,7 @@ func (s *clusterServer) writeReport(cj clusterJob) {
 		"recomputed":    cj.Result.Recomputed,
 		"lost":          cj.Result.Lost,
 	})
+	obs.PruneDir(s.reportDir, "*.report.jsonl", s.reportMaxFiles)
 }
 
 // drain mirrors the worker drain: readiness flips, queued jobs are
@@ -370,10 +431,12 @@ func (s *clusterServer) drain(ctx context.Context) error {
 
 // clusterConfig carries the -coordinator flag set into serveCluster.
 type clusterConfig struct {
-	opts       cluster.Options
-	queueDepth int
-	reportDir  string
-	store      storeConfig
+	opts           cluster.Options
+	queueDepth     int
+	reportDir      string
+	reportMaxFiles int
+	store          storeConfig
+	trace          traceConfig
 }
 
 // membership resolves the static worker set from -shards / -membership-file
@@ -396,8 +459,19 @@ func membership(shardsFlag, membershipFile string) ([]cluster.Shard, error) {
 // a local pool.
 func serveCluster(ln net.Listener, cfg clusterConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 	cfg.opts.Metrics = reg
 	cfg.opts.Logf = log.Printf
+	// The coordinator's OnSpan hook is wired before cluster.New copies
+	// the options, but the clusterServer it targets exists only after New
+	// — the atomic holder bridges the cycle race-free (events before the
+	// Store are impossible: the listener is not serving yet).
+	var holder atomic.Pointer[clusterServer]
+	cfg.opts.OnSpan = func(e cluster.SpanEvent) {
+		if cs := holder.Load(); cs != nil {
+			cs.onSpan(e)
+		}
+	}
 	coord, err := cluster.New(cfg.opts)
 	if err != nil {
 		return err
@@ -409,7 +483,15 @@ func serveCluster(ln net.Listener, cfg clusterConfig, drainTimeout, requestTimeo
 	if st != nil {
 		defer st.Close()
 	}
-	s := newClusterServer(coord, cfg.queueDepth, reg, cfg.reportDir, st)
+	tr, err := cfg.trace.open(reg)
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		defer tr.Close()
+	}
+	s := newClusterServer(coord, cfg.queueDepth, reg, tr, cfg.reportDir, cfg.reportMaxFiles, st)
+	holder.Store(s)
 	for _, sh := range coord.Shards() {
 		log.Printf("localityd: cluster member %s = %s", sh.Name, sh.URL)
 	}

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"locality/internal/harness"
 	"locality/internal/jobs"
 	"locality/internal/obs"
+	"locality/internal/obs/trace"
 )
 
 func TestMain(m *testing.M) {
@@ -62,13 +64,29 @@ func runE2EWorker() {
 	fmt.Printf("LISTENING http://%s\n", ln.Addr())
 	os.Stdout.Sync()
 	reg := obs.NewRegistry()
+	// LOCALITYD_E2E_TRACEDIR turns the worker into a trace-emitting shard:
+	// the multi-process trace e2e points every process at one shared
+	// artifact directory with distinct proc names.
+	var tr *trace.Tracer
+	if dir := os.Getenv("LOCALITYD_E2E_TRACEDIR"); dir != "" {
+		proc := os.Getenv("LOCALITYD_E2E_TRACEPROC")
+		if proc == "" {
+			proc = fmt.Sprintf("worker-%d", os.Getpid())
+		}
+		var err error
+		tr, err = trace.Open(trace.Options{Dir: dir, Proc: proc, Metrics: reg})
+		if err != nil {
+			log.Fatalf("e2e worker: trace: %v", err)
+		}
+	}
 	pool := jobs.New(jobs.Options{
 		Workers:       1,
 		Metrics:       reg,
+		Tracer:        tr,
 		CheckpointDir: os.Getenv("LOCALITYD_E2E_CKDIR"),
 		BatchHook:     func(string, *harness.Checkpoint) { time.Sleep(pace) },
 	})
-	s := newServer(pool, 64, 10*time.Second, reg)
+	s := newServer(pool, 64, 10*time.Second, reg, tr)
 	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(srv.Serve(ln))
 }
@@ -86,14 +104,17 @@ func directRun(t *testing.T, experiment string, seed uint64) string {
 }
 
 // testClusterFrontend stands up a coordinator front-end over the given
-// worker URLs and serves its API from an httptest server.
-func testClusterFrontend(t *testing.T, reportDir string, workerURLs ...string) (*clusterServer, *httptest.Server) {
+// worker URLs and serves its API from an httptest server. With tr
+// non-nil the front-end traces: coordinator SpanEvents bridge through
+// onSpan exactly as serveCluster wires them.
+func testClusterFrontend(t *testing.T, reportDir string, tr *trace.Tracer, workerURLs ...string) (*clusterServer, *httptest.Server) {
 	t.Helper()
 	shards := make([]cluster.Shard, len(workerURLs))
 	for i, u := range workerURLs {
 		shards[i] = cluster.Shard{Name: fmt.Sprintf("shard%d", i), URL: u}
 	}
 	reg := obs.NewRegistry()
+	var holder atomic.Pointer[clusterServer]
 	coord, err := cluster.New(cluster.Options{
 		Shards:         shards,
 		RequestTimeout: 2 * time.Second,
@@ -104,11 +125,17 @@ func testClusterFrontend(t *testing.T, reportDir string, workerURLs ...string) (
 		ProbeThreshold: 2,
 		Metrics:        reg,
 		Logf:           t.Logf,
+		OnSpan: func(e cluster.SpanEvent) {
+			if cs := holder.Load(); cs != nil {
+				cs.onSpan(e)
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := newClusterServer(coord, 16, reg, reportDir, nil)
+	cs := newClusterServer(coord, 16, reg, tr, reportDir, 0, nil)
+	holder.Store(cs)
 	ts := httptest.NewServer(cs.handler(10*time.Second, 64))
 	t.Cleanup(func() {
 		ts.Close()
@@ -163,7 +190,7 @@ func TestClusterFrontendInProcess(t *testing.T) {
 		_, ts := testServer(t, jobs.Options{Workers: 1})
 		workers = append(workers, ts.URL)
 	}
-	_, front := testClusterFrontend(t, "", workers...)
+	_, front := testClusterFrontend(t, "", nil, workers...)
 
 	resp := submit(t, front.URL, `{"experiment":"E4","quick":true,"seed":7}`)
 	if resp.StatusCode != http.StatusAccepted {
@@ -269,7 +296,7 @@ func TestClusterKillShardE2E(t *testing.T) {
 	}
 
 	reportDir := t.TempDir()
-	_, front := testClusterFrontend(t, reportDir, urls...)
+	_, front := testClusterFrontend(t, reportDir, nil, urls...)
 
 	resp := submit(t, front.URL, `{"experiment":"E4","quick":true,"seed":7}`)
 	if resp.StatusCode != http.StatusAccepted {

@@ -49,6 +49,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"syscall"
@@ -58,6 +59,7 @@ import (
 	"locality/internal/harness"
 	"locality/internal/jobs"
 	"locality/internal/obs"
+	"locality/internal/obs/trace"
 	"locality/internal/store"
 	"locality/internal/tenant"
 )
@@ -103,13 +105,17 @@ type server struct {
 	// reg backs /metrics; the pool shares it. Nil disables instrumentation
 	// (every obs call below is nil-safe).
 	reg *obs.Registry
+	// tr emits request spans (and parents the pool's job spans). Nil
+	// disables tracing; every trace call below is nil-safe.
+	tr *trace.Tracer
 }
 
-func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration, reg *obs.Registry) *server {
+func newServer(pool *jobs.Pool, maxInflight int, requestTimeout time.Duration, reg *obs.Registry, tr *trace.Tracer) *server {
 	return &server{
 		pool: pool,
 		lim:  newLimiter(maxInflight, requestTimeout, reg),
 		reg:  reg,
+		tr:   tr,
 	}
 }
 
@@ -163,19 +169,34 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // request counter. Routes are named explicitly (not from the request path)
 // so the label space stays bounded.
 func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	return instrumented(s.reg, route, h)
+	return instrumented(s.reg, s.tr, route, h)
 }
 
 // instrumented is the route instrumentation shared by the worker and
-// coordinator handlers.
-func instrumented(reg *obs.Registry, route string, h http.HandlerFunc) http.HandlerFunc {
+// coordinator handlers: a latency histogram, a per-status counter, and —
+// with a tracer attached — one span per request, continuing the caller's
+// trace when the Locality-Trace header carries one and exposing the
+// request's trace ID as the histogram's exemplar.
+func instrumented(reg *obs.Registry, tr *trace.Tracer, route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := reg.Histogram("locality_http_request_seconds",
 		"HTTP request latency by route.", obs.DefTimeBuckets, "route", route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		parent, _ := trace.Parse(r.Header.Get(trace.Header))
+		sp := tr.Start(parent, "http."+route, "method", r.Method)
+		if sp != nil {
+			r = r.WithContext(trace.ContextWithSpan(r.Context(), sp))
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		hist.Observe(time.Since(start).Seconds())
+		sp.SetAttr("status", strconv.Itoa(sw.status))
+		sp.End()
+		secs := time.Since(start).Seconds()
+		if id := sp.TraceID(); id != "" {
+			hist.ObserveExemplar(secs, id)
+		} else {
+			hist.Observe(secs)
+		}
 		reg.Counter("locality_http_requests_total",
 			"HTTP requests by route and status code.",
 			"route", route, "code", strconv.Itoa(sw.status)).Inc()
@@ -244,14 +265,20 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("decoding request: %v", err), Reason: "bad_request"})
 		return
 	}
-	res, err := s.pool.SubmitTenant(r.Header.Get(tenant.Header), jobs.Spec{
+	spec := jobs.Spec{
 		Experiment: req.Experiment,
 		Quick:      req.Quick,
 		Seed:       req.Seed,
 		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
 		Workers:    req.Workers,
 		Rows:       req.Rows,
-	})
+	}
+	// A request with no inbound trace adopts the spec's identity-derived
+	// trace ID, so resubmitting the same spec lands in the same trace on
+	// every process that touches it (DESIGN.md §14).
+	sp := trace.SpanFromContext(r.Context())
+	sp.JoinTrace(trace.IDFromIdentity(spec.IdentityKey()))
+	res, err := s.pool.SubmitTenantSpan(sp.Context(), r.Header.Get(tenant.Header), spec)
 	if err != nil {
 		status := shedStatus(err)
 		if retryableStatus(status) {
@@ -276,7 +303,16 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 			Error: "unknown job", Reason: "not_found"})
 		return
 	}
+	s.joinJobTrace(r, j)
 	writeJSON(w, http.StatusOK, j)
+}
+
+// joinJobTrace lands a poll's request span in the polled job's trace: a
+// traceless request (a bare curl, a coordinator without the header)
+// adopts the job's identity-derived trace ID, so every touch of a job —
+// from any process — assembles into one tree.
+func (s *server) joinJobTrace(r *http.Request, j jobs.Job) {
+	trace.SpanFromContext(r.Context()).JoinTrace(trace.IDFromIdentity(j.Spec.IdentityKey()))
 }
 
 // handleCheckpoint serves the job's state together with its latest
@@ -292,6 +328,7 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			Error: "unknown job", Reason: "not_found"})
 		return
 	}
+	s.joinJobTrace(r, j)
 	ck, _ := s.pool.Checkpoint(id)
 	writeJSON(w, http.StatusOK, map[string]any{"state": j.State, "checkpoint": ck})
 }
@@ -349,10 +386,18 @@ func main() {
 		maxInflight    = flag.Int("max-inflight", 64, "concurrent request limit (excess rejected 503)")
 		pprofAddr      = flag.String("pprof-addr", "", "opt-in net/http/pprof listen address (empty = disabled)")
 		reportDir      = flag.String("report-dir", "", "directory for per-job JSONL run reports (empty = disabled)")
+		reportMaxFiles = flag.Int("report-max-files", 0, "report files kept in -report-dir; the oldest are removed past it (0 = unlimited)")
+		traceDir       = flag.String("trace-dir", "", "directory for JSONL span trace artifacts (empty = tracing disabled)")
+		traceProc      = flag.String("trace-proc", "", "process name stamped on this instance's spans (default localityd-<pid>)")
 		tenantsFile    = flag.String("tenants-file", "", "JSON tenant config: default quotas, pinned tenants keyed by API key (empty = permissive)")
 		idempotent     = flag.Bool("idempotent", true, "dedup submissions by determinism identity (duplicates return the existing job)")
+		version        = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("localityd %s %s %s/%s\n", obs.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 	if *coordinator {
 		shards, err := membership(*shardsFlag, *membershipFile)
 		if err != nil {
@@ -373,9 +418,11 @@ func main() {
 				ProbeThreshold: *probeThreshold,
 				ShardWorkers:   *shardWorkers,
 			},
-			queueDepth: *queueDepth,
-			reportDir:  *reportDir,
-			store:      storeConfig{dir: *storeDir, maxBytes: *storeMaxBytes},
+			queueDepth:     *queueDepth,
+			reportDir:      *reportDir,
+			reportMaxFiles: *reportMaxFiles,
+			store:          storeConfig{dir: *storeDir, maxBytes: *storeMaxBytes},
+			trace:          traceConfig{dir: *traceDir, proc: *traceProc},
 		}
 		if err := serveCluster(ln, cfg, *drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
 			log.Fatal(err)
@@ -390,16 +437,18 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := run(*addr, jobs.Options{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		CheckpointDir: *checkpointDir,
-		RetryBudget:   *retryBudget,
-		Backoff:       harness.Backoff{Base: *retryBase, Max: *retryMax, Seed: *backoffSeed},
-		ReportDir:     *reportDir,
-		Tenancy:       tcfg,
-		Idempotent:    *idempotent,
-		Retention:     *retention,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CheckpointDir:  *checkpointDir,
+		RetryBudget:    *retryBudget,
+		Backoff:        harness.Backoff{Base: *retryBase, Max: *retryMax, Seed: *backoffSeed},
+		ReportDir:      *reportDir,
+		ReportMaxFiles: *reportMaxFiles,
+		Tenancy:        tcfg,
+		Idempotent:     *idempotent,
+		Retention:      *retention,
 	}, storeConfig{dir: *storeDir, maxBytes: *storeMaxBytes},
+		traceConfig{dir: *traceDir, proc: *traceProc},
 		*drainTimeout, *requestTimeout, *maxInflight, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
@@ -419,6 +468,29 @@ func (c storeConfig) open(reg *obs.Registry) (*store.Store, error) {
 		return nil, nil
 	}
 	return store.Open(store.Options{Dir: c.dir, MaxBytes: c.maxBytes, Metrics: reg})
+}
+
+// traceConfig carries the -trace-dir/-trace-proc flag set; the zero value
+// disables tracing.
+type traceConfig struct {
+	dir  string
+	proc string
+}
+
+// open builds the span tracer, registering its span counter on reg. A nil
+// tracer (empty dir) is legal everywhere downstream.
+func (c traceConfig) open(reg *obs.Registry) (*trace.Tracer, error) {
+	if c.dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("localityd: trace dir: %w", err)
+	}
+	proc := c.proc
+	if proc == "" {
+		proc = fmt.Sprintf("localityd-%d", os.Getpid())
+	}
+	return trace.Open(trace.Options{Dir: c.dir, Proc: proc, Metrics: reg})
 }
 
 // loadTenants reads the -tenants-file JSON (a tenant.Config: default
@@ -441,12 +513,12 @@ func loadTenants(path string) (*tenant.Config, error) {
 }
 
 // run resolves the listen address; serve owns the lifecycle.
-func run(addr string, poolOpts jobs.Options, sc storeConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
+func run(addr string, poolOpts jobs.Options, sc storeConfig, tc traceConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("localityd: listen: %w", err)
 	}
-	return serve(ln, poolOpts, sc, drainTimeout, requestTimeout, maxInflight, pprofAddr)
+	return serve(ln, poolOpts, sc, tc, drainTimeout, requestTimeout, maxInflight, pprofAddr)
 }
 
 // pprofHandler routes the net/http/pprof endpoints. It backs the opt-in
@@ -466,8 +538,9 @@ func pprofHandler() http.Handler {
 // SIGTERM/SIGINT, then drains: readiness flips, the pool runs down to the
 // drain deadline (checkpointing whatever it must cancel), and every
 // goroutine is reaped before serve returns.
-func serve(ln net.Listener, poolOpts jobs.Options, sc storeConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
+func serve(ln net.Listener, poolOpts jobs.Options, sc storeConfig, tc traceConfig, drainTimeout, requestTimeout time.Duration, maxInflight int, pprofAddr string) error {
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 	poolOpts.Metrics = reg
 	st, err := sc.open(reg)
 	if err != nil {
@@ -477,8 +550,16 @@ func serve(ln net.Listener, poolOpts jobs.Options, sc storeConfig, drainTimeout,
 		defer st.Close()
 		poolOpts.Store = st
 	}
+	tr, err := tc.open(reg)
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		defer tr.Close()
+		poolOpts.Tracer = tr
+	}
 	pool := jobs.New(poolOpts)
-	s := newServer(pool, maxInflight, requestTimeout, reg)
+	s := newServer(pool, maxInflight, requestTimeout, reg, tr)
 	return serveUntilSignal(ln, s.handler(), pprofAddr, "localityd", drainTimeout, s.drain)
 }
 

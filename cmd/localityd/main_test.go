@@ -27,7 +27,7 @@ func testServer(t *testing.T, opts jobs.Options) (*server, *httptest.Server) {
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
 	pool := jobs.New(opts)
-	s := newServer(pool, 64, 10*time.Second, reg)
+	s := newServer(pool, 64, 10*time.Second, reg, nil)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -201,7 +201,7 @@ func TestQueueFullShed429(t *testing.T) {
 // with 503 instead of queueing them invisibly.
 func TestConcurrencyLimit(t *testing.T) {
 	pool := jobs.New(jobs.Options{Workers: 1})
-	s := newServer(pool, 1, time.Second, obs.NewRegistry())
+	s := newServer(pool, 1, time.Second, obs.NewRegistry(), nil)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	defer func() {
@@ -292,7 +292,7 @@ func TestSIGTERMDrain(t *testing.T) {
 			time.Sleep(30 * time.Millisecond)
 		}}
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, opts, storeConfig{}, 150*time.Millisecond, 5*time.Second, 64, "") }()
+	go func() { done <- serve(ln, opts, storeConfig{}, traceConfig{}, 150*time.Millisecond, 5*time.Second, 64, "") }()
 
 	waitHTTP(t, base+"/healthz", http.StatusOK, 10*time.Second)
 	resp := submit(t, base, `{"experiment":"E12","quick":true,"seed":5}`)

@@ -58,6 +58,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// The opening snapshot orients the client: late subscribers see the
 	// current state without replaying history.
 	if j, ok := s.pool.Get(id); ok {
+		s.joinJobTrace(r, j)
 		writeSSE(w, "snapshot", j)
 	}
 	if err := rc.Flush(); err != nil {

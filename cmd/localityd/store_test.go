@@ -25,7 +25,7 @@ func storeServer(t *testing.T, dir string, opts jobs.Options) (*httptest.Server,
 	opts.Metrics = reg
 	opts.Store = st
 	pool := jobs.New(opts)
-	s := newServer(pool, 64, 10*time.Second, reg)
+	s := newServer(pool, 64, 10*time.Second, reg, nil)
 	ts := httptest.NewServer(s.handler())
 	shutdown := func() {
 		ts.Close()

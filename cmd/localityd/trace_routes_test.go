@@ -1,0 +1,129 @@
+package main
+
+// Route-level observability pins: every API route — the SSE stream and
+// the checkpoint fetch included — reports into the shared latency and
+// count families, the submit histogram carries an identity-derived trace
+// exemplar when tracing is on, and the wire header constant the cluster
+// client sets is the same one the trace package parses.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"locality/internal/cluster"
+	"locality/internal/jobs"
+	"locality/internal/obs"
+	"locality/internal/obs/trace"
+)
+
+// TestTraceHeaderConstantsAgree pins the propagation contract: the
+// cluster client (which cannot import the trace package — it is an
+// obs-inert hot path) must spell the header exactly as the trace
+// package defines it, or context would silently stop flowing.
+func TestTraceHeaderConstantsAgree(t *testing.T) {
+	if cluster.TraceHeader != trace.Header {
+		t.Fatalf("cluster.TraceHeader %q != trace.Header %q", cluster.TraceHeader, trace.Header)
+	}
+}
+
+// TestRouteLatencyCoversEventsAndCheckpoint pins that the SSE events
+// route and the checkpoint route report into the same latency/count
+// families as every other route — neither bypasses instrumentation.
+func TestRouteLatencyCoversEventsAndCheckpoint(t *testing.T) {
+	_, ts := testServer(t, jobs.Options{Workers: 1})
+
+	resp := submit(t, ts.URL, `{"experiment":"E4","quick":true,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	decode(t, resp, &acc)
+	if j := pollJob(t, ts.URL, acc.ID); j.State != jobs.StateSucceeded {
+		t.Fatalf("job: %s", j.State)
+	}
+
+	// A terminal job's event stream closes after snapshot+terminal, so a
+	// plain GET completes; the checkpoint fetch is an ordinary request.
+	for _, path := range []string{
+		"/v1/jobs/" + acc.ID + "/events",
+		"/v1/jobs/" + acc.ID + "/checkpoint",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	prom := string(promBytes)
+	for _, route := range []string{"events", "checkpoint", "submit", "get"} {
+		for _, series := range []string{
+			fmt.Sprintf(`locality_http_request_seconds_count{route=%q}`, route),
+			fmt.Sprintf(`locality_http_requests_total{route=%q,code="200"}`, route),
+		} {
+			// The submit route answers 202, not 200.
+			if route == "submit" && strings.Contains(series, "requests_total") {
+				series = `locality_http_requests_total{route="submit",code="202"}`
+			}
+			if !strings.Contains(prom, series) {
+				t.Errorf("/metrics missing series %s", series)
+			}
+		}
+	}
+}
+
+// TestSubmitExemplarLinksTrace pins the metrics→trace link: with tracing
+// on, the submit route's latency histogram exposes an EXEMPLAR comment
+// carrying the job's identity-derived trace ID.
+func TestSubmitExemplarLinksTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr, err := trace.Open(trace.Options{Dir: t.TempDir(), Proc: "api"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	pool := jobs.New(jobs.Options{Workers: 1, Metrics: reg, Tracer: tr})
+	s := newServer(pool, 64, 10*time.Second, reg, tr)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+
+	spec := jobs.Spec{Experiment: "E4", Quick: true, Seed: 7}
+	resp := submit(t, ts.URL, `{"experiment":"E4","quick":true,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	decode(t, resp, &acc)
+	pollJob(t, ts.URL, acc.ID)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := fmt.Sprintf(`# EXEMPLAR locality_http_request_seconds{route="submit"} trace=%q`,
+		trace.IDFromIdentity(spec.IdentityKey()))
+	if !strings.Contains(string(promBytes), want) {
+		t.Errorf("/metrics missing exemplar %s in:\n%s", want, promBytes)
+	}
+}

@@ -31,11 +31,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"locality/internal/load"
+	"locality/internal/obs"
 	"locality/internal/tenant"
 )
 
@@ -58,10 +60,16 @@ func main() {
 		artifactDir  = flag.String("artifact-dir", "", "directory for LOAD_<stamp>.json artifacts and the baseline gate (empty = no artifact)")
 		baseRatio    = flag.Float64("baseline-ratio", load.DefaultBaselineRatio, "max bucket-quantized p99 ratio vs the latest baseline artifact (0 = skip the gate)")
 		spawnWorkers = flag.Int("spawn-workers", 4, "worker count for the spawned daemon")
+		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("localload: ")
+
+	if *version {
+		fmt.Printf("localload %s %s %s/%s\n", obs.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 
 	if (*url == "") == !*spawn {
 		log.Fatal("exactly one of -url or -spawn is required")

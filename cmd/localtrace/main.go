@@ -1,0 +1,162 @@
+// Command localtrace reads locality-trace/v1 JSONL artifacts — from one
+// process or a directory full of them — reassembles the causal span tree,
+// and prints a waterfall timeline, the critical path, and a top-k summary
+// of span types by exclusive time.
+//
+//	localtrace /var/run/locality/traces           # every trace in the dir
+//	localtrace -trace 0a1b2c3d4e5f6071 dir        # one trace
+//	localtrace -top 5 a.trace.jsonl b.trace.jsonl # merge specific files
+//
+// localtrace is also the CI trace gate: it exits nonzero when any
+// artifact is malformed or the assembled forest has orphaned spans or
+// duplicate span IDs — a broken causal chain means a header that never
+// propagated or a process that never flushed, and the build should say
+// so. A torn final line is tolerated (a SIGKILLed process loses at most
+// the span it was mid-writing); torn lines anywhere else are corruption.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"locality/internal/obs"
+	"locality/internal/obs/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("localtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 10, "span types shown in the exclusive-time summary")
+	traceID := fs.String("trace", "", "render only this trace ID")
+	width := fs.Int("width", 48, "waterfall timeline width in columns")
+	version := fs.Bool("version", false, "print build version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "localtrace %s %s %s/%s\n", obs.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: localtrace [flags] <artifact file or dir>...")
+		return 2
+	}
+
+	res, err := trace.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "localtrace: %v\n", err)
+		return 1
+	}
+	forest := trace.Assemble(res.Spans)
+
+	shown := 0
+	for _, t := range forest.Traces {
+		if *traceID != "" && t.ID != *traceID {
+			continue
+		}
+		shown++
+		renderTree(stdout, t, *width, *top)
+	}
+	if *traceID != "" && shown == 0 {
+		fmt.Fprintf(stderr, "localtrace: trace %s not found\n", *traceID)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d file(s), %d span(s), %d trace(s)", res.Files, len(res.Spans), len(forest.Traces))
+	if res.Truncated > 0 {
+		fmt.Fprintf(stdout, ", %d torn tail(s) tolerated", res.Truncated)
+	}
+	fmt.Fprintln(stdout)
+
+	if err := forest.Err(); err != nil {
+		fmt.Fprintf(stderr, "localtrace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// renderTree prints one trace: header, waterfall, critical path, top-k.
+func renderTree(w io.Writer, t *trace.Tree, width, top int) {
+	start, end := t.Start(), t.EndNanos()
+	total := end - start
+	fmt.Fprintf(w, "trace %s  (%d spans, %s)\n", t.ID, t.Spans, fmtDur(total))
+
+	var walk func(n *trace.Node, depth int)
+	walk = func(n *trace.Node, depth int) {
+		label := strings.Repeat("  ", depth) + n.Name
+		fmt.Fprintf(w, "  %-34s %-14s %9s  |%s|\n",
+			clip(label, 34), clip(n.Proc, 14), fmtDur(n.Dur), bar(n.Start, n.End(), start, total, width))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+
+	fmt.Fprintf(w, "  critical path (%s):\n", fmtDur(total))
+	for _, n := range t.CriticalPath() {
+		fmt.Fprintf(w, "    %-32s %-14s %9s  (%s exclusive)\n",
+			clip(n.Name, 32), clip(n.Proc, 14), fmtDur(n.Dur), fmtDur(trace.ExclusiveNanos(n)))
+	}
+
+	fmt.Fprintf(w, "  top span types by exclusive time:\n")
+	stats := t.ExclusiveByName()
+	if top > 0 && len(stats) > top {
+		stats = stats[:top]
+	}
+	for _, st := range stats {
+		fmt.Fprintf(w, "    %-32s %4d× %10s\n", clip(st.Name, 32), st.Count, fmtDur(st.Exclusive))
+	}
+	fmt.Fprintln(w)
+}
+
+// bar renders a span's interval as a fixed-width timeline strip.
+func bar(s, e, origin, total int64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	if total <= 0 {
+		return strings.Repeat("#", width)
+	}
+	a := int((s - origin) * int64(width) / total)
+	b := int((e - origin) * int64(width) / total)
+	if a < 0 {
+		a = 0
+	}
+	if a >= width {
+		a = width - 1
+	}
+	if b <= a {
+		b = a + 1
+	}
+	if b > width {
+		b = width
+	}
+	return strings.Repeat(" ", a) + strings.Repeat("#", b-a) + strings.Repeat(" ", width-b)
+}
+
+// fmtDur renders nanoseconds compactly and deterministically.
+func fmtDur(n int64) string {
+	return time.Duration(n).String()
+}
+
+// clip bounds a label to the column width (ASCII truncation keeps the
+// waterfall columns aligned).
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 3 {
+		return s[:n]
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"locality/internal/obs/trace"
+)
+
+// writeArtifact builds a trace artifact with deterministic timestamps via
+// Emit, so the CLI's rendered durations are stable across runs.
+func writeArtifact(t *testing.T, dir, proc string, f func(tr *trace.Tracer)) {
+	t.Helper()
+	tr, err := trace.Open(trace.Options{Dir: dir, Proc: proc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRendersCompleteTrace(t *testing.T) {
+	dir := t.TempDir()
+	root := trace.SpanContext{Trace: "t1", Span: "w1-1"}
+	writeArtifact(t, dir, "w1", func(tr *trace.Tracer) {
+		tr.Emit(trace.SpanContext{Trace: "t1"}, "http.submit", 1000, 9000)
+		tr.Emit(root, "pool.admit", 1500, 2500, "outcome", "enqueued")
+		tr.Emit(root, "job.run", 3000, 8000)
+	})
+
+	var out, errb bytes.Buffer
+	code := run([]string{dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{
+		"trace t1", "http.submit", "pool.admit", "job.run",
+		"critical path", "top span types", "1 file(s), 3 span(s), 1 trace(s)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// http.submit spans 8µs; job.run ends latest, so it is on the critical
+	// path below the root.
+	if !strings.Contains(out.String(), "8µs") {
+		t.Errorf("expected 8µs root duration:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnOrphan(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact(t, dir, "w1", func(tr *trace.Tracer) {
+		tr.Emit(trace.SpanContext{Trace: "t1"}, "http.submit", 1000, 9000)
+		tr.Emit(trace.SpanContext{Trace: "t1", Span: "missing-99"}, "pool.admit", 1500, 2500)
+	})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "orphaned span") {
+		t.Errorf("stderr missing orphan report:\n%s", errb.String())
+	}
+}
+
+func TestRunFailsOnCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.trace.jsonl")
+	content := `{"type":"meta","schema":"locality-trace/v1"}
+{"type":"span","trace":"t1","span":"a-1","name":"x","start_unix_nanos":
+{"type":"span","trace":"t1","span":"a-2","name":"y","start_unix_nanos":1,"duration_nanos":1}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "not a torn tail") {
+		t.Errorf("stderr missing corruption report:\n%s", errb.String())
+	}
+}
+
+func TestRunTraceFilter(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact(t, dir, "w1", func(tr *trace.Tracer) {
+		tr.Emit(trace.SpanContext{Trace: "t1"}, "alpha", 1000, 2000)
+		tr.Emit(trace.SpanContext{Trace: "t2"}, "beta", 3000, 4000)
+	})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-trace", "t2", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "alpha") || !strings.Contains(out.String(), "beta") {
+		t.Errorf("filter failed:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-trace", "nope", dir}, &out, &errb); code != 1 {
+		t.Fatalf("missing trace: exit %d, want 1", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("-version: exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "localtrace") {
+		t.Errorf("-version output: %q", out.String())
+	}
+}

@@ -66,6 +66,10 @@ var leafExemptions = []analysis.FuncExemption{
 		Reason: "run-report timing is wall-clock telemetry by design; confined to clock.go's two helpers"},
 	{Func: "locality/internal/store.nowNanos", Kind: "wallclock",
 		Reason: "result-store records carry a stored-at stamp for operators; write-only telemetry, never read back into cache decisions"},
+	{Func: "locality/internal/obs/trace.now", Kind: "wallclock",
+		Reason: "span timing is wall-clock telemetry by design; confined to clock.go's two helpers, never read back into span identity (DESIGN.md §14)"},
+	{Func: "locality/internal/obs/trace.since", Kind: "wallclock",
+		Reason: "span timing is wall-clock telemetry by design; confined to clock.go's two helpers, never read back into span identity (DESIGN.md §14)"},
 }
 
 // wallclockAllowFuncs projects the wallclock rows of leafExemptions for
@@ -132,7 +136,10 @@ func contractAnalyzers() []*analysis.Analyzer {
 			AllowNodePackages: []string{"locality/internal/fault"},
 		}),
 		analysis.NewObsInert(analysis.ObsInertOptions{
-			ObsPackages: []string{"locality/internal/obs"},
+			ObsPackages: []string{
+				"locality/internal/obs",
+				"locality/internal/obs/trace",
+			},
 			HotPackages: []string{
 				"locality/internal/sim",
 				"locality/internal/harness",

@@ -205,6 +205,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if key := TenantFrom(ctx); key != "" {
 		req.Header.Set(tenant.Header, key)
 	}
+	if tv := TraceHeaderFrom(ctx); tv != "" {
+		req.Header.Set(TraceHeader, tv)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return 0, err

@@ -42,6 +42,12 @@ type Options struct {
 	// Metrics, when non-nil, receives the coordinator's per-shard health,
 	// dispatch, adoption, and failover counters.
 	Metrics *obs.Registry
+	// OnSpan, when non-nil, receives one completed SpanEvent per
+	// coordinator action (dispatch, adopt, failover, abandon, endgame).
+	// Strictly fire-and-forget, like Metrics and Logf: the hook must not
+	// block or feed back into the run (see trace.go on why the
+	// coordinator carries no tracer of its own).
+	OnSpan func(SpanEvent)
 	// Logf, when non-nil, receives progress lines (log.Printf-shaped).
 	Logf func(format string, args ...any)
 }
@@ -232,10 +238,13 @@ func (c *Coordinator) Run(ctx context.Context, spec jobs.Spec) (*Result, error) 
 			case err != nil:
 				c.event(res, a.shard.shard.Name, "failover", err.Error())
 				c.metrics.failover()
+				now := time.Now().UnixNano()
+				c.span("cluster.failover", a.shard.shard.Name, now, now, "error", err.Error())
 				c.logf("cluster: shard %s failed (%v); reassigning", a.shard.shard.Name, err)
 				if failoverBudget--; failoverBudget < 0 {
 					c.event(res, a.shard.shard.Name, "abandon",
 						"failover budget exhausted; endgame will recompute "+rowsLabel(a.rows))
+					c.span("cluster.abandon", a.shard.shard.Name, now, now, "reason", "failover_budget")
 					continue
 				}
 				still = c.reassign(ctx, spec, a, merged, res, still)
@@ -263,6 +272,8 @@ func (c *Coordinator) dispatch(ctx context.Context, spec jobs.Spec, a *assignmen
 			a.shard = next
 		} else {
 			c.event(res, a.shard.shard.Name, "abandon", "no healthy shard; endgame will recompute "+rowsLabel(a.rows))
+			now := time.Now().UnixNano()
+			c.span("cluster.abandon", a.shard.shard.Name, now, now, "reason", "no_healthy_shard")
 			return active
 		}
 	}
@@ -274,18 +285,25 @@ func (c *Coordinator) dispatch(ctx context.Context, spec jobs.Spec, a *assignmen
 		Workers:    c.opts.ShardWorkers,
 		Rows:       a.rows,
 	}
+	start := time.Now().UnixNano()
 	id, err := a.shard.client.Submit(ctx, req)
 	if err != nil {
 		a.shard.prober.MarkUnhealthy()
 		c.event(res, a.shard.shard.Name, "failover", "dispatch failed: "+err.Error())
 		c.metrics.failover()
+		c.span("shard.dispatch", a.shard.shard.Name, start, time.Now().UnixNano(),
+			"outcome", "failed", "error", err.Error())
 		if next := c.nextHealthy(); next != nil {
 			a.shard = next
 			return c.dispatch(ctx, spec, a, res, active)
 		}
 		c.event(res, a.shard.shard.Name, "abandon", "no healthy shard; endgame will recompute "+rowsLabel(a.rows))
+		now := time.Now().UnixNano()
+		c.span("cluster.abandon", a.shard.shard.Name, now, now, "reason", "no_healthy_shard")
 		return active
 	}
+	c.span("shard.dispatch", a.shard.shard.Name, start, time.Now().UnixNano(),
+		"job", id, "rows", rowsLabel(a.rows))
 	a.jobID = id
 	c.metrics.dispatched(a.shard.shard.Name)
 	c.event(res, a.shard.shard.Name, "dispatch", fmt.Sprintf("%s as %s", rowsLabel(a.rows), id))
@@ -323,6 +341,9 @@ func (c *Coordinator) poll(ctx context.Context, a *assignment, merged *harness.C
 				res.Retried += len(adopted)
 				c.metrics.retried(len(adopted))
 			}
+			now := time.Now().UnixNano()
+			c.span("shard.adopt", a.shard.shard.Name, now, now,
+				"job", a.jobID, "batches", fmt.Sprintf("%d", len(adopted)))
 		}
 	}
 	switch cr.State {
@@ -405,6 +426,7 @@ func (c *Coordinator) cancelAll(ctx context.Context, active []*assignment) {
 // the final bytes are always rendered by one deterministic local replay,
 // whatever subset of the cluster computed the inputs.
 func (c *Coordinator) endgame(ctx context.Context, driver func(harness.Config) *harness.Table, spec jobs.Spec, merged *harness.Checkpoint, res *Result) (*Result, error) {
+	egStart := time.Now().UnixNano()
 	recomputed := 0
 	tbl, err := runDriver(driver, harness.Config{
 		Quick:   spec.Quick,
@@ -431,6 +453,8 @@ func (c *Coordinator) endgame(ctx context.Context, driver func(harness.Config) *
 	c.event(res, "", "endgame",
 		fmt.Sprintf("%d/%d batches merged from shards, %d recomputed locally, %d lost",
 			merged.Computed(), res.TotalBatches, recomputed, res.Lost))
+	c.span("cluster.endgame", "", egStart, time.Now().UnixNano(),
+		"recomputed", fmt.Sprintf("%d", recomputed), "lost", fmt.Sprintf("%d", res.Lost))
 	c.logf("cluster: %s complete: %d batches merged, %d recomputed locally, %d lost",
 		spec.Experiment, merged.Computed(), recomputed, res.Lost)
 	return res, nil

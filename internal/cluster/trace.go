@@ -1,0 +1,62 @@
+package cluster
+
+import "context"
+
+// Trace propagation.
+//
+// The cluster package deliberately imports no tracer: internal/cluster is
+// an obsinert hot package (localvet), where telemetry must be provably
+// unable to influence failover decisions. It therefore handles tracing the
+// same way it handles tenant identity — as an opaque string riding the
+// context (tenantctx.go) — and reports its own timing through the
+// fire-and-forget Options.OnSpan hook. The daemon's coordinator front-end
+// (cmd/localityd) owns the tracer on both ends: it stamps the header value
+// into the dispatch context and turns SpanEvents into real spans.
+
+// TraceHeader is the HTTP header carrying the caller's span context on
+// coordinator→shard requests. cmd/localityd parses it on the serving side;
+// a test pins it equal to the trace package's canonical header name.
+const TraceHeader = "Locality-Trace"
+
+// SpanEvent is one completed coordinator timing interval, reported through
+// Options.OnSpan. Instantaneous events (failover decisions, adoptions)
+// carry Start == End. Attrs alternates key, value.
+type SpanEvent struct {
+	Name           string
+	Shard          string
+	StartUnixNanos int64
+	EndUnixNanos   int64
+	Attrs          []string
+}
+
+// span reports one completed interval through the hook, if attached.
+func (c *Coordinator) span(name, shard string, start, end int64, attrs ...string) {
+	if c.opts.OnSpan != nil {
+		c.opts.OnSpan(SpanEvent{
+			Name:           name,
+			Shard:          shard,
+			StartUnixNanos: start,
+			EndUnixNanos:   end,
+			Attrs:          attrs,
+		})
+	}
+}
+
+type traceCtxKey struct{}
+
+// WithTraceHeader stamps the serialized span context that Client calls
+// under ctx will forward as the Locality-Trace request header. The empty
+// string disables forwarding (the zero state).
+func WithTraceHeader(ctx context.Context, v string) context.Context {
+	if v == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, v)
+}
+
+// TraceHeaderFrom extracts the header value stamped by WithTraceHeader,
+// or "" when the context carries none.
+func TraceHeaderFrom(ctx context.Context) string {
+	v, _ := ctx.Value(traceCtxKey{}).(string)
+	return v
+}

@@ -28,6 +28,41 @@ type Observer interface {
 	BatchDone(experiment string, batches, rowsInBatch int)
 }
 
+// Observers combines observers into one, dropping nils: the idiom for
+// attaching a run report AND a trace sink to the same sweep. It returns
+// nil when nothing remains (so Config.Obs stays nil and the disabled
+// path costs nothing) and the sole survivor unwrapped when one does.
+func Observers(list ...Observer) Observer {
+	var out []Observer
+	for _, o := range list {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return multiObserver(out)
+}
+
+// multiObserver fans telemetry out in attachment order.
+type multiObserver []Observer
+
+func (m multiObserver) SimRound(experiment string, s sim.RoundStats) {
+	for _, o := range m {
+		o.SimRound(experiment, s)
+	}
+}
+
+func (m multiObserver) BatchDone(experiment string, batches, rowsInBatch int) {
+	for _, o := range m {
+		o.BatchDone(experiment, batches, rowsInBatch)
+	}
+}
+
 // sim injects the sweep's round-stats hook into a simulator config. Every
 // driver wraps its sim.Config literals in it; with no observer attached it
 // returns the config untouched, so the disabled path costs nothing and the

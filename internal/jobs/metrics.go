@@ -156,5 +156,9 @@ func (p *Pool) reportSink(j *job) (harness.Observer, func()) {
 	return rep, func() {
 		rep.Close()
 		f.Close()
+		// FIFO-bound the report directory after each report closes, so a
+		// long-lived daemon's ReportDir stops growing at the configured
+		// budget instead of accumulating one file per job forever.
+		obs.PruneDir(p.opts.ReportDir, "*.report.jsonl", p.opts.ReportMaxFiles)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"locality/internal/harness"
 	"locality/internal/obs"
+	"locality/internal/obs/trace"
 	"locality/internal/rng"
 	"locality/internal/store"
 	"locality/internal/tenant"
@@ -54,6 +55,19 @@ type Options struct {
 	// telemetry. Like checkpoint persistence, report I/O failures never fail
 	// a job.
 	ReportDir string
+	// ReportMaxFiles bounds ReportDir: past it, the oldest report files
+	// are removed FIFO after each report closes (the result store's
+	// whole-segment eviction idiom, applied to whole report files).
+	// 0 keeps everything.
+	ReportMaxFiles int
+	// Tracer, when non-nil, emits deterministic spans for every
+	// submission and job lifecycle stage — admission, store lookup,
+	// queue wait, execution, per-batch commits, store write-through —
+	// into the tracer's JSONL artifact (internal/obs/trace). Like
+	// Metrics, nil disables tracing at zero cost, and tracing is inert
+	// by the same contract: results are byte-identical with it on or
+	// off (differentially test-asserted).
+	Tracer *trace.Tracer
 	// Tenancy, when non-nil, configures multi-tenant admission: per-tenant
 	// quotas, bounded tenant retention, and weighted round-robin fair
 	// dequeue (see internal/tenant). Nil runs the registry with permissive
@@ -126,6 +140,17 @@ type job struct {
 	ck          *harness.Checkpoint // latest snapshot; final sparse ck for sharded jobs
 	subs        []*Subscription     // live event streams
 	eventSeq    uint64
+
+	// root parents EVERY run-side span (queue wait, execution, batch
+	// commits, store write-through) — the admission span's context,
+	// carrying the identity-derived trace. Deliberately not the job.run
+	// span: a span record is written only at End, so parenting long-lived
+	// children to a span a SIGKILL might leave unwritten would orphan
+	// them; the admission span is durably on disk before the job starts.
+	root trace.SpanContext
+	// qspan is the queue-wait span, started at enqueue and ended by the
+	// worker that dequeues the job.
+	qspan *trace.Span
 }
 
 // Pool is a supervised worker pool running experiment sweeps. Create with
@@ -240,9 +265,30 @@ func (p *Pool) Submit(spec Spec) (string, error) {
 // queued, running or succeeded job dedups: the existing job is returned
 // with Deduped set, no work is enqueued, and no quota is charged.
 func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
+	return p.SubmitTenantSpan(trace.SpanContext{}, apiKey, spec)
+}
+
+// SubmitTenantSpan is SubmitTenant with an inbound trace parent: the HTTP
+// layer passes the request's span so the admission span (and everything
+// the job emits below it) lands in the caller's trace. A zero parent with
+// tracing enabled roots a fresh trace derived from the spec's determinism
+// identity, so re-submitting the same spec yields the same trace ID on
+// every process that ever touches it.
+func (p *Pool) SubmitTenantSpan(parent trace.SpanContext, apiKey string, spec Spec) (SubmitResult, error) {
+	var asp *trace.Span
+	if tr := p.opts.Tracer; tr != nil {
+		if parent.Trace == "" {
+			parent.Trace = trace.IDFromIdentity(spec.IdentityKey())
+		}
+		asp = tr.Start(parent, "pool.admit", "experiment", spec.Experiment)
+	}
+	// End deferred before the mutex is taken: the span's file write runs
+	// after Unlock, keeping I/O out of the pool's critical section.
+	defer asp.End()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	shed := func(reason error) (SubmitResult, error) {
+		asp.SetAttr("outcome", "shed")
 		return SubmitResult{}, &ShedError{
 			Reason:   reason,
 			QueueLen: p.tenants.QueuedTotal(),
@@ -263,13 +309,15 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 		return shed(ErrDraining)
 	}
 	var ikey string
-	if p.opts.Idempotent || p.opts.Store != nil {
+	if p.opts.Idempotent || p.opts.Store != nil || p.opts.Tracer != nil {
 		ikey = spec.IdentityKey()
 	}
 	if p.opts.Idempotent {
 		if prev, ok := p.identity[ikey]; ok &&
 			prev.state != StateFailed && prev.state != StateCancelled {
 			p.metrics.deduped.Inc()
+			asp.SetAttr("outcome", "deduped")
+			asp.SetAttr("job", prev.id)
 			return SubmitResult{ID: prev.id, Tenant: prev.tenantID, Deduped: true}, nil
 		}
 	}
@@ -288,7 +336,15 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 	// checkpoint, not a table, and the coordinator caches the merged
 	// result instead.)
 	if p.opts.Store != nil && spec.Rows == nil {
-		if res, ok := p.opts.Store.Get(ikey); ok {
+		gs := p.opts.Tracer.Start(asp.Context(), "store.get")
+		res, ok := p.opts.Store.Get(ikey)
+		if ok {
+			gs.SetAttr("outcome", "hit")
+		} else {
+			gs.SetAttr("outcome", "miss")
+		}
+		gs.End()
+		if ok {
 			if err := p.tenants.Admit(ten, p.now()); err != nil {
 				p.metrics.shedQuota.Inc()
 				p.metrics.tenantShed(ten, err)
@@ -315,6 +371,8 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 			p.metrics.submitted.Inc()
 			p.metrics.tenantAdmit(ten)
 			p.metrics.terminal(StateSucceeded)
+			asp.SetAttr("outcome", "cached")
+			asp.SetAttr("job", j.id)
 			return SubmitResult{ID: j.id, Tenant: ten.ID(), Cached: true}, nil
 		}
 	}
@@ -354,6 +412,12 @@ func (p *Pool) SubmitTenant(apiKey string, spec Spec) (SubmitResult, error) {
 	p.metrics.submitted.Inc()
 	p.metrics.tenantAdmit(ten)
 	p.metrics.queueDepth.Set(int64(p.tenants.QueuedTotal()))
+	asp.SetAttr("outcome", "enqueued")
+	asp.SetAttr("job", j.id)
+	// The run-side spans parent to the admission span: queue.wait starts
+	// now and is ended by the worker that dequeues the job.
+	j.root = asp.Context()
+	j.qspan = p.opts.Tracer.Start(j.root, "queue.wait", "experiment", spec.Experiment, "job", j.id)
 	return SubmitResult{ID: j.id, Tenant: ten.ID()}, nil
 }
 
@@ -468,13 +532,20 @@ func (p *Pool) runJob(j *job, ten *tenant.Tenant) {
 		p.finishLocked(j, fmt.Errorf("jobs: cancelled before start: %w", context.Cause(j.ctx)))
 		p.tenants.Finish(ten)
 		subs := j.takeSubsLocked()
+		qspan := j.qspan
 		p.mu.Unlock()
 		closeSubs(subs)
+		qspan.SetAttr("outcome", "cancelled")
+		qspan.End()
 		return
 	}
 	j.state = StateRunning
+	qspan := j.qspan
 	j.publishLocked()
 	p.mu.Unlock()
+	rspan := p.opts.Tracer.Start(j.root, "job.run", "experiment", j.spec.Experiment, "job", j.id)
+	qspan.SetAttr("outcome", "dequeued")
+	qspan.End()
 	p.metrics.running.Inc()
 	defer p.metrics.running.Dec()
 
@@ -555,16 +626,23 @@ func (p *Pool) runJob(j *job, ten *tenant.Tenant) {
 		if j.spec.Rows == nil {
 			p.store.clear(j.spec)
 			if p.opts.Store != nil {
+				ps := p.opts.Tracer.Start(j.root, "store.put")
 				p.opts.Store.Put(j.ikey, store.Result{Output: table, Batches: batches})
+				ps.End()
 			}
 		}
+		rspan.SetAttr("state", string(StateSucceeded))
+		rspan.End()
 		return
 	}
 	p.finishLocked(j, final)
 	p.tenants.Finish(ten)
 	subs := j.takeSubsLocked()
+	st := j.state
 	p.mu.Unlock()
 	closeSubs(subs)
+	rspan.SetAttr("state", string(st))
+	rspan.End()
 }
 
 // finishLocked records a terminal failure; callers hold the pool mutex.
@@ -644,7 +722,7 @@ func (p *Pool) attempt(ctx context.Context, j *job, ck **harness.Checkpoint) (tb
 	defer closeReport()
 	driver, _ := lookup(j.spec.Experiment)
 	cfg := harness.Config{
-		Obs:     report,
+		Obs:     harness.Observers(report, p.traceSink(j)),
 		Quick:   j.spec.Quick,
 		Seed:    j.spec.Seed,
 		Workers: j.spec.Workers,

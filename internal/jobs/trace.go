@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"strconv"
+	"time"
+
+	"locality/internal/harness"
+	"locality/internal/obs/trace"
+	"locality/internal/sim"
+)
+
+// Batch-commit tracing.
+//
+// The harness stays clock-free (the localvet nowallclock gate), so batch
+// timing lives here, on the pool side of the Observer seam — the same
+// side where reportSink stamps its records. Each freshly committed batch
+// becomes one complete "batch.commit" span under the job's run span: the
+// span covers the interval since the previous commit (or since the
+// observer was attached, for the first batch), which is exactly the time
+// the sweep spent computing that batch's rows. Replayed batches fire no
+// telemetry (mirroring OnBatch), so a resumed job's trace shows only the
+// work it actually did.
+
+// traceSink returns the per-attempt batch-span observer, or nil when
+// tracing is off (so harness.Observers collapses it away and the sweep
+// sees the report sink unwrapped). Batch spans parent to the job's root
+// (the admission span) rather than the in-flight job.run span — see the
+// job.root field on why that matters under SIGKILL.
+func (p *Pool) traceSink(j *job) harness.Observer {
+	if p.opts.Tracer == nil {
+		return nil
+	}
+	return &traceObserver{tr: p.opts.Tracer, parent: j.root, last: time.Now()}
+}
+
+type traceObserver struct {
+	tr     *trace.Tracer
+	parent trace.SpanContext
+	// last is the previous batch boundary. BatchDone is always called
+	// from the driver goroutine in commit order (the Observer contract),
+	// so no lock is needed.
+	last time.Time
+}
+
+func (o *traceObserver) SimRound(string, sim.RoundStats) {}
+
+func (o *traceObserver) BatchDone(experiment string, batches, rowsInBatch int) {
+	now := time.Now()
+	o.tr.Emit(o.parent, "batch.commit", o.last.UnixNano(), now.UnixNano(),
+		"experiment", experiment,
+		"batch", strconv.Itoa(batches),
+		"rows", strconv.Itoa(rowsInBatch),
+	)
+	o.last = now
+}

@@ -1,0 +1,136 @@
+package jobs_test
+
+// Tracing differentials at the pool layer: enabling the tracer must not
+// change a single output byte (the telemetry-inertness contract), and the
+// artifact a traced pool writes must assemble into complete causal trees
+// rooted at each job's identity-derived trace ID. Plus the ReportMaxFiles
+// FIFO regression: a bounded report directory stops growing at the budget.
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"locality/internal/jobs"
+	"locality/internal/obs/trace"
+)
+
+// TestTracerByteIdentity runs the same specs through a plain pool and a
+// traced pool (Workers>1, parallel rows included) and requires identical
+// bytes, then asserts the trace artifact assembles orphan-free with every
+// pool-layer span type present.
+func TestTracerByteIdentity(t *testing.T) {
+	specs := []jobs.Spec{
+		{Experiment: "E2", Quick: true, Seed: 7},
+		{Experiment: "E4", Quick: true, Seed: 11},
+		{Experiment: "E8", Quick: true, Seed: 7, Workers: 2},
+		{Experiment: "E12", Quick: true, Seed: 3},
+	}
+
+	runPool := func(opts jobs.Options) map[string]string {
+		out := make(map[string]string)
+		p := jobs.New(opts)
+		defer closePool(t, p)
+		for _, spec := range specs {
+			id, err := p.Submit(spec)
+			if err != nil {
+				t.Fatalf("submit %s: %v", spec.Experiment, err)
+			}
+			j := waitTerminal(t, p, id)
+			if j.State != jobs.StateSucceeded {
+				t.Fatalf("%s: state %s (%s)", spec.Experiment, j.State, j.Error)
+			}
+			out[spec.Experiment] = j.Output
+		}
+		return out
+	}
+
+	plain := runPool(jobs.Options{Workers: 2})
+
+	traceDir := t.TempDir()
+	tr, err := trace.Open(trace.Options{Dir: traceDir, Proc: "pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := runPool(jobs.Options{Workers: 2, Tracer: tr})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, spec := range specs {
+		want, _ := runDirect(t, spec)
+		if plain[spec.Experiment] != want {
+			t.Errorf("%s: plain pool output differs from direct run", spec.Experiment)
+		}
+		if traced[spec.Experiment] != plain[spec.Experiment] {
+			t.Errorf("%s: tracing changed output bytes", spec.Experiment)
+		}
+	}
+
+	res, err := trace.Load(traceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := trace.Assemble(res.Spans)
+	if err := forest.Err(); err != nil {
+		t.Fatalf("traced pool artifact incomplete: %v", err)
+	}
+	for _, spec := range specs {
+		id := trace.IDFromIdentity(spec.IdentityKey())
+		var tree *trace.Tree
+		for _, tt := range forest.Traces {
+			if tt.ID == id {
+				tree = tt
+			}
+		}
+		if tree == nil {
+			t.Fatalf("%s: no trace %s among %d traces", spec.Experiment, id, len(forest.Traces))
+		}
+		names := tree.Names()
+		for _, want := range []string{"pool.admit", "queue.wait", "job.run", "batch.commit"} {
+			if !slices.Contains(names, want) {
+				t.Errorf("%s trace missing span %q (have %v)", spec.Experiment, want, names)
+			}
+		}
+		if cp := tree.CriticalPath(); len(cp) == 0 {
+			t.Errorf("%s: empty critical path", spec.Experiment)
+		}
+	}
+}
+
+// TestReportMaxFilesPrunes is the ReportDir FIFO regression: with a
+// 2-file budget, the third job's report evicts the first job's.
+func TestReportMaxFilesPrunes(t *testing.T) {
+	dir := t.TempDir()
+	p := jobs.New(jobs.Options{Workers: 1, ReportDir: dir, ReportMaxFiles: 2})
+	defer closePool(t, p)
+
+	var ids []string
+	for _, seed := range []uint64{1, 2, 3} {
+		id, err := p.Submit(jobs.Spec{Experiment: "E4", Quick: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j := waitTerminal(t, p, id); j.State != jobs.StateSucceeded {
+			t.Fatalf("seed %d: %s (%s)", seed, j.State, j.Error)
+		}
+		ids = append(ids, id)
+	}
+
+	reports, err := filepath.Glob(filepath.Join(dir, "*.report.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("report dir holds %d files %v, want 2", len(reports), reports)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ids[0]+".report.jsonl")); !os.IsNotExist(err) {
+		t.Errorf("oldest report %s survived the FIFO bound", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, err := os.Stat(filepath.Join(dir, id+".report.jsonl")); err != nil {
+			t.Errorf("report %s missing: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version reports the module's build version from the embedded build
+// info: the module version for a released binary, the VCS revision
+// (truncated) for a source build, "(devel)" when neither is stamped.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(devel)"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	return "(devel)"
+}
+
+// RegisterBuildInfo sets the locality_build_info gauge: the standard
+// build-provenance identity series (value always 1, identity in the
+// labels), so a scrape can tell which build produced the numbers next
+// to it. Nil-registry safe.
+func RegisterBuildInfo(r *Registry) {
+	r.Gauge("locality_build_info",
+		"Build provenance; the value is always 1, the identity is in the labels.",
+		"go_version", runtime.Version(),
+		"goos", runtime.GOOS,
+		"goarch", runtime.GOARCH,
+		"version", Version(),
+	).Set(1)
+}

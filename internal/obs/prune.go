@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// PruneDir bounds a telemetry artifact directory: among dir's entries
+// matching the glob pattern, the oldest (by modification time, ties by
+// name) are removed until at most max remain — the whole-file analogue
+// of the result store's whole-segment eviction, for run reports and
+// trace artifacts that would otherwise accumulate forever. max <= 0
+// disables pruning. Errors are swallowed (telemetry cleanup must never
+// fail the work that produced the files); the removed count is returned
+// for tests.
+func PruneDir(dir, pattern string, max int) int {
+	if max <= 0 || dir == "" {
+		return 0
+	}
+	names, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil || len(names) <= max {
+		return 0
+	}
+	type entry struct {
+		path string
+		mod  int64
+	}
+	ents := make([]entry, 0, len(names))
+	for _, p := range names {
+		info, err := os.Stat(p)
+		if err != nil || info.IsDir() {
+			continue
+		}
+		ents = append(ents, entry{path: p, mod: info.ModTime().UnixNano()})
+	}
+	if len(ents) <= max {
+		return 0
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].mod != ents[b].mod {
+			return ents[a].mod < ents[b].mod
+		}
+		return ents[a].path < ents[b].path
+	})
+	removed := 0
+	for _, e := range ents[:len(ents)-max] {
+		if os.Remove(e.path) == nil {
+			removed++
+		}
+	}
+	return removed
+}

@@ -226,6 +226,10 @@ type Histogram struct {
 	counts []atomic.Int64 // len(upper)+1; last is the +Inf bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplar holds the most recent trace ID observed alongside a
+	// sample (ObserveExemplar) — rendered as an EXEMPLAR comment line so
+	// a latency series links back to a concrete trace in cmd/localtrace.
+	exemplar atomic.Pointer[string]
 }
 
 func newHistogram(upper []float64) *Histogram {
@@ -251,6 +255,32 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and attaches traceID as the
+// series' exemplar (the latest one wins; an empty ID records the sample
+// only). Exemplars are exposition metadata, never metric values: the
+// numeric series is identical to plain Observe calls.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplar.Store(&traceID)
+	}
+}
+
+// Exemplar returns the series' most recent exemplar trace ID ("" when
+// none was ever attached).
+func (h *Histogram) Exemplar() string {
+	if h == nil {
+		return ""
+	}
+	if p := h.exemplar.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Count returns the number of observations (0 on nil).
@@ -343,8 +373,17 @@ func writeSeries(w io.Writer, f *family, key string, s any) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, key, formatFloat(m.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, m.Count())
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, m.Count()); err != nil {
+			return err
+		}
+		// Exemplars ride a comment line: version 0.0.4 has no exemplar
+		// syntax, and comments are ignored by every conforming parser,
+		// so the trace link costs nothing in compatibility.
+		if ex := m.Exemplar(); ex != "" {
+			_, err := fmt.Fprintf(w, "# EXEMPLAR %s%s trace=\"%s\"\n", f.name, key, escapeLabel(ex))
+			return err
+		}
+		return nil
 	}
 	return fmt.Errorf("obs: unknown series type %T", s)
 }

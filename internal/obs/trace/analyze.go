@@ -1,0 +1,406 @@
+package trace
+
+// Trace-artifact analysis: loading JSONL artifacts from one or many
+// processes, reassembling the causal tree, and attributing time — the
+// library half of cmd/localtrace, shared with the cluster e2e tests so
+// the CI gate and the CLI agree on what "a complete tree" means.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A LoadResult is the parsed content of one or more trace artifacts.
+type LoadResult struct {
+	// Spans holds every well-formed span record, in file-then-line order.
+	Spans []Record
+	// Files counts the artifacts read.
+	Files int
+	// Truncated counts artifacts whose final line was torn — the
+	// signature of a process killed mid-write. Tolerated (mirroring the
+	// result store's torn-tail recovery): the span being written at the
+	// kill is lost, which a kill makes true anyway.
+	Truncated int
+}
+
+// Load reads trace artifacts from the given paths. A directory expands
+// to its *.trace.jsonl entries (sorted, so results are deterministic).
+// Malformed records anywhere but a file's final line are errors: the
+// artifact is corrupt, not merely torn.
+func Load(paths ...string) (*LoadResult, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		ents, err := fs.Glob(os.DirFS(p), "*.trace.jsonl")
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		sort.Strings(ents)
+		for _, e := range ents {
+			files = append(files, filepath.Join(p, e))
+		}
+	}
+	res := &LoadResult{}
+	for _, f := range files {
+		if err := res.loadFile(f); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// loadFile parses one artifact into res.
+func (res *LoadResult) loadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	res.Files++
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pending []Record // held back one line so a torn tail can be excused
+	var tornAt int
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		if tornAt > 0 {
+			return fmt.Errorf("trace: %s:%d: malformed record (not a torn tail: lines follow)", path, tornAt)
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			tornAt = line
+			continue
+		}
+		switch rec.Type {
+		case "meta":
+			if rec.Schema != Schema {
+				return fmt.Errorf("trace: %s:%d: schema %q, want %q", path, line, rec.Schema, Schema)
+			}
+		case "span":
+			if rec.Span == "" || rec.Name == "" || rec.Start <= 0 || rec.Dur < 0 {
+				tornAt = line
+				continue
+			}
+			pending = append(pending, rec)
+		default:
+			tornAt = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if tornAt > 0 {
+		res.Truncated++
+	}
+	res.Spans = append(res.Spans, pending...)
+	return nil
+}
+
+// A Node is one span in an assembled tree.
+type Node struct {
+	Record
+	Children []*Node
+}
+
+// End returns the span's end time in Unix nanos.
+func (n *Node) End() int64 { return n.Start + n.Dur }
+
+// A Tree groups one trace's spans under their roots.
+type Tree struct {
+	// ID is the effective trace ID: a span with an empty trace field
+	// inherits its root ancestor's (children emitted before their parent
+	// joined a trace still group correctly).
+	ID string
+	// Roots are the trace's parentless spans, sorted by start time. A
+	// healthy cross-process trace has one; the analyzer tolerates many.
+	Roots []*Node
+	// Spans counts every node in the tree.
+	Spans int
+}
+
+// Start and EndNanos bound the tree's wall-clock extent.
+func (t *Tree) Start() int64 {
+	if len(t.Roots) == 0 {
+		return 0
+	}
+	min := t.Roots[0].Start
+	for _, r := range t.Roots[1:] {
+		if r.Start < min {
+			min = r.Start
+		}
+	}
+	return min
+}
+
+func (t *Tree) EndNanos() int64 {
+	var max int64
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if e := n.End(); e > max {
+			max = e
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return max
+}
+
+// A Forest is every trace assembled from a span set, plus the defects
+// that make the set incomplete.
+type Forest struct {
+	Traces []*Tree
+	// Orphans are spans whose parent ID appears nowhere in the set — a
+	// broken causal chain (a process that never flushed, a header that
+	// never propagated). The CI gate fails on any.
+	Orphans []Record
+	// Duplicates are span IDs minted twice — a seeding bug.
+	Duplicates []string
+}
+
+// Err reports the forest's defects as one error, nil when the causal
+// tree is complete.
+func (f *Forest) Err() error {
+	if len(f.Orphans) == 0 && len(f.Duplicates) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for _, o := range f.Orphans {
+		fmt.Fprintf(&b, "orphaned span %s (%s, proc %s): parent %s not found\n", o.Span, o.Name, o.Proc, o.Parent)
+	}
+	for _, d := range f.Duplicates {
+		fmt.Fprintf(&b, "duplicate span ID %s\n", d)
+	}
+	return fmt.Errorf("trace: incomplete causal tree:\n%s", strings.TrimRight(b.String(), "\n"))
+}
+
+// Assemble builds the causal forest: spans indexed by ID, children
+// attached to parents, traces keyed by each root's effective ID. Output
+// order is deterministic: traces sorted by start time then ID, children
+// by start time then span ID.
+func Assemble(spans []Record) *Forest {
+	f := &Forest{}
+	byID := make(map[string]*Node, len(spans))
+	var order []*Node
+	for _, rec := range spans {
+		if _, ok := byID[rec.Span]; ok {
+			f.Duplicates = append(f.Duplicates, rec.Span)
+			continue
+		}
+		n := &Node{Record: rec}
+		byID[rec.Span] = n
+		order = append(order, n)
+	}
+
+	var roots []*Node
+	for _, n := range order {
+		if n.Parent == "" {
+			roots = append(roots, n)
+			continue
+		}
+		p, ok := byID[n.Parent]
+		if !ok {
+			f.Orphans = append(f.Orphans, n.Record)
+			roots = append(roots, n) // still render it, as its own root
+			continue
+		}
+		p.Children = append(p.Children, n)
+	}
+	for _, n := range order {
+		sort.Slice(n.Children, func(a, b int) bool {
+			if n.Children[a].Start != n.Children[b].Start {
+				return n.Children[a].Start < n.Children[b].Start
+			}
+			return n.Children[a].Span < n.Children[b].Span
+		})
+	}
+
+	trees := make(map[string]*Tree)
+	for _, r := range roots {
+		id := r.Trace
+		if id == "" {
+			id = "untraced-" + r.Span
+		}
+		t, ok := trees[id]
+		if !ok {
+			t = &Tree{ID: id}
+			trees[id] = t
+			f.Traces = append(f.Traces, t)
+		}
+		t.Roots = append(t.Roots, r)
+	}
+	for _, t := range f.Traces {
+		sort.Slice(t.Roots, func(a, b int) bool {
+			if t.Roots[a].Start != t.Roots[b].Start {
+				return t.Roots[a].Start < t.Roots[b].Start
+			}
+			return t.Roots[a].Span < t.Roots[b].Span
+		})
+		var count func(n *Node) int
+		count = func(n *Node) int {
+			c := 1
+			for _, ch := range n.Children {
+				c += count(ch)
+			}
+			return c
+		}
+		for _, r := range t.Roots {
+			t.Spans += count(r)
+		}
+	}
+	sort.Slice(f.Traces, func(a, b int) bool {
+		if f.Traces[a].Start() != f.Traces[b].Start() {
+			return f.Traces[a].Start() < f.Traces[b].Start()
+		}
+		return f.Traces[a].ID < f.Traces[b].ID
+	})
+	return f
+}
+
+// ExclusiveNanos is the time a span spent NOT covered by its children:
+// its duration minus the union of child intervals clipped to its own —
+// the quantity that makes "where did the time go" sum sensibly.
+func ExclusiveNanos(n *Node) int64 {
+	type iv struct{ a, b int64 }
+	var ivs []iv
+	s, e := n.Start, n.End()
+	for _, c := range n.Children {
+		a, b := c.Start, c.End()
+		if a < s {
+			a = s
+		}
+		if b > e {
+			b = e
+		}
+		if a < b {
+			ivs = append(ivs, iv{a, b})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	var covered, hi int64
+	for _, v := range ivs {
+		if v.a > hi {
+			covered += v.b - v.a
+			hi = v.b
+		} else if v.b > hi {
+			covered += v.b - hi
+			hi = v.b
+		}
+	}
+	excl := n.Dur - covered
+	if excl < 0 {
+		excl = 0
+	}
+	return excl
+}
+
+// CriticalPath walks from the tree's dominant root to the leaf that
+// determined the finish time: at each node, descend into the child with
+// the latest end. The returned slice is root-first.
+func (t *Tree) CriticalPath() []*Node {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	cur := t.Roots[0]
+	for _, r := range t.Roots[1:] {
+		if r.End() > cur.End() {
+			cur = r
+		}
+	}
+	path := []*Node{cur}
+	for len(cur.Children) > 0 {
+		next := cur.Children[0]
+		for _, c := range cur.Children[1:] {
+			if c.End() > next.End() {
+				next = c
+			}
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path
+}
+
+// A NameStat aggregates one span type's cost within a trace.
+type NameStat struct {
+	Name      string
+	Count     int
+	Exclusive int64 // nanoseconds
+}
+
+// ExclusiveByName ranks span types by total exclusive time, descending
+// (ties by name) — the critical-path summary's top-k input.
+func (t *Tree) ExclusiveByName() []NameStat {
+	agg := make(map[string]*NameStat)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		st, ok := agg[n.Name]
+		if !ok {
+			st = &NameStat{Name: n.Name}
+			agg[n.Name] = st
+		}
+		st.Count++
+		st.Exclusive += ExclusiveNanos(n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]NameStat, 0, len(names))
+	for _, name := range names {
+		out = append(out, *agg[name])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Exclusive > out[b].Exclusive })
+	return out
+}
+
+// Names returns every distinct span name in the tree (sorted) — the
+// e2e assertions use it to check layer coverage.
+func (t *Tree) Names() []string {
+	seen := make(map[string]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		seen[n.Name] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// span builds a test record.
+func span(trace, id, parent, name, proc string, start, dur int64) Record {
+	return Record{Type: "span", Trace: trace, Span: id, Parent: parent,
+		Name: name, Proc: proc, Start: start, Dur: dur}
+}
+
+func TestAssembleCompleteTree(t *testing.T) {
+	spans := []Record{
+		span("t1", "c-1", "", "http.submit", "c", 100, 900),
+		span("t1", "c-2", "c-1", "cluster.sweep", "c", 150, 800),
+		span("", "w-1", "c-2", "http.submit", "w", 200, 100),
+		span("", "w-2", "w-1", "pool.admit", "w", 210, 50),
+		span("t2", "c-9", "", "http.get", "c", 2000, 10),
+	}
+	f := Assemble(spans)
+	if err := f.Err(); err != nil {
+		t.Fatalf("complete tree reported defects: %v", err)
+	}
+	if len(f.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(f.Traces))
+	}
+	t1 := f.Traces[0]
+	if t1.ID != "t1" || t1.Spans != 4 {
+		t.Fatalf("t1 = %q with %d spans", t1.ID, t1.Spans)
+	}
+	if len(t1.Roots) != 1 || t1.Roots[0].Span != "c-1" {
+		t.Fatalf("t1 roots = %+v", t1.Roots)
+	}
+	// Cross-process child with an empty trace field still lands in t1.
+	sweep := t1.Roots[0].Children[0]
+	if len(sweep.Children) != 1 || sweep.Children[0].Span != "w-1" {
+		t.Fatalf("worker span not attached: %+v", sweep.Children)
+	}
+}
+
+func TestAssembleDetectsOrphansAndDuplicates(t *testing.T) {
+	f := Assemble([]Record{
+		span("t1", "a-1", "", "root", "a", 100, 10),
+		span("t1", "a-2", "ghost-7", "lost", "a", 105, 5),
+		span("t1", "a-1", "", "dup", "a", 100, 10),
+	})
+	err := f.Err()
+	if err == nil {
+		t.Fatalf("defective set reported clean")
+	}
+	if len(f.Orphans) != 1 || f.Orphans[0].Span != "a-2" {
+		t.Fatalf("orphans = %+v", f.Orphans)
+	}
+	if len(f.Duplicates) != 1 || f.Duplicates[0] != "a-1" {
+		t.Fatalf("duplicates = %+v", f.Duplicates)
+	}
+	if !strings.Contains(err.Error(), "ghost-7") {
+		t.Fatalf("error does not name the missing parent: %v", err)
+	}
+}
+
+func TestCriticalPathAndExclusive(t *testing.T) {
+	// root [0,1000]; fast child [100,200]; slow child [300,900] with its
+	// own leaf [400,800].
+	spans := []Record{
+		span("t", "r", "", "root", "p", 1000, 1000),
+		span("t", "f", "r", "fast", "p", 1100, 100),
+		span("t", "s", "r", "slow", "p", 1300, 600),
+		span("t", "l", "s", "leaf", "p", 1400, 400),
+	}
+	f := Assemble(spans)
+	tr := f.Traces[0]
+	path := tr.CriticalPath()
+	var names []string
+	for _, n := range path {
+		names = append(names, n.Name)
+	}
+	if got := strings.Join(names, ">"); got != "root>slow>leaf" {
+		t.Fatalf("critical path = %s", got)
+	}
+	// root exclusive: 1000 - (100 + 600) = 300.
+	if got := ExclusiveNanos(f.Traces[0].Roots[0]); got != 300 {
+		t.Fatalf("root exclusive = %d, want 300", got)
+	}
+	// slow exclusive: 600 - 400 = 200.
+	if got := ExclusiveNanos(path[1]); got != 200 {
+		t.Fatalf("slow exclusive = %d, want 200", got)
+	}
+	stats := tr.ExclusiveByName()
+	if stats[0].Name != "leaf" || stats[0].Exclusive != 400 {
+		t.Fatalf("top exclusive = %+v", stats[0])
+	}
+}
+
+func TestExclusiveOverlappingChildren(t *testing.T) {
+	// Two children overlap [100,300] and [200,400] under root [0,1000]:
+	// union covers 300, exclusive 700.
+	spans := []Record{
+		span("t", "r", "", "root", "p", 1000, 1000),
+		span("t", "a", "r", "a", "p", 1100, 200),
+		span("t", "b", "r", "b", "p", 1200, 200),
+	}
+	f := Assemble(spans)
+	if got := ExclusiveNanos(f.Traces[0].Roots[0]); got != 700 {
+		t.Fatalf("exclusive with overlapping children = %d, want 700", got)
+	}
+}
+
+func TestLoadRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	for _, proc := range []string{"w1", "w2"} {
+		tr, err := Open(Options{Dir: dir, Proc: proc})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		tr.Start(SpanContext{Trace: "shared0000000000"}, "http.submit").End()
+		tr.Close()
+	}
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if res.Files != 2 || len(res.Spans) != 2 || res.Truncated != 0 {
+		t.Fatalf("load = %d files, %d spans, %d truncated", res.Files, len(res.Spans), res.Truncated)
+	}
+	f := Assemble(res.Spans)
+	if err := f.Err(); err != nil {
+		t.Fatalf("assembled defects: %v", err)
+	}
+	if len(f.Traces) != 1 || f.Traces[0].Spans != 2 {
+		t.Fatalf("merge produced %d traces", len(f.Traces))
+	}
+}
+
+func TestLoadToleratesTornTailOnly(t *testing.T) {
+	dir := t.TempDir()
+	torn := filepath.Join(dir, "killed.trace.jsonl")
+	content := `{"type":"meta","schema":"locality-trace/v1","proc":"k"}
+{"type":"span","trace":"t","span":"k-1","name":"job.run","proc":"k","start_unix_nanos":100,"duration_nanos":5}
+{"type":"span","trace":"t","span":"k-2","na`
+	if err := os.WriteFile(torn, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(torn)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if res.Truncated != 1 || len(res.Spans) != 1 {
+		t.Fatalf("torn load = %d spans, %d truncated", len(res.Spans), res.Truncated)
+	}
+
+	// Garbage mid-file is corruption, not a torn tail.
+	bad := filepath.Join(dir, "bad.trace.jsonl")
+	badContent := `{"type":"span","trace":"t","span":"k-1","name":"x","proc":"k","start_unix_nanos":1,"duration_nanos":1}
+not json at all
+{"type":"span","trace":"t","span":"k-3","name":"y","proc":"k","start_unix_nanos":2,"duration_nanos":1}
+`
+	if err := os.WriteFile(bad, []byte(badContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatalf("mid-file corruption accepted")
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "v2.trace.jsonl")
+	os.WriteFile(p, []byte(`{"type":"meta","schema":"locality-trace/v999"}`+"\n"), 0o644)
+	if _, err := Load(p); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+func TestTreeNames(t *testing.T) {
+	f := Assemble([]Record{
+		span("t", "r", "", "root", "p", 100, 10),
+		span("t", "c", "r", "child", "p", 101, 5),
+	})
+	names := f.Traces[0].Names()
+	if strings.Join(names, ",") != "child,root" {
+		t.Fatalf("names = %v", names)
+	}
+}

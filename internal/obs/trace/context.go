@@ -1,0 +1,24 @@
+package trace
+
+import "context"
+
+// spanCtxKey keys the active *Span in a request context.
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to the context (the HTTP
+// instrumentation wrapper does this so handlers can parent their work
+// to the route span). A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext recovers the span attached by ContextWithSpan (nil
+// when absent — and every *Span method is nil-safe, so callers never
+// need to check).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
